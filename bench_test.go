@@ -1,0 +1,182 @@
+package daesim_test
+
+// Benchmark harness: one benchmark per paper artifact (Table 1, Figures
+// 4-9) plus engine microbenchmarks. Each artifact benchmark regenerates
+// the table or figure end to end (workload construction, lowering,
+// simulation sweep) and reports the artifact's headline number as a
+// custom metric, so `go test -bench=.` both times the harness and prints
+// the reproduced result.
+
+import (
+	"sync"
+	"testing"
+
+	"daesim"
+	"daesim/internal/experiments"
+)
+
+// benchSuite caches lowered programs for the microbenchmarks only; the
+// artifact benchmarks rebuild everything per iteration on purpose.
+var (
+	benchOnce  sync.Once
+	benchFLO   *daesim.Suite
+	benchTRACK *daesim.Suite
+)
+
+func suites(b *testing.B) (*daesim.Suite, *daesim.Suite) {
+	b.Helper()
+	benchOnce.Do(func() {
+		for _, s := range []struct {
+			name string
+			dst  **daesim.Suite
+		}{{"FLO52Q", &benchFLO}, {"TRACK", &benchTRACK}} {
+			tr, err := daesim.Workload(s.name, 1)
+			if err != nil {
+				panic(err)
+			}
+			suite, err := daesim.NewSuite(tr, daesim.Classic)
+			if err != nil {
+				panic(err)
+			}
+			*s.dst = suite
+		}
+	})
+	return benchFLO, benchTRACK
+}
+
+// BenchmarkEngineDM measures raw simulation throughput of the decoupled
+// machine at the paper's headline operating point.
+func BenchmarkEngineDM(b *testing.B) {
+	flo, _ := suites(b)
+	ops := float64(flo.DM.Program.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := flo.RunDM(daesim.Params{Window: 64, MD: 60})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+	b.ReportMetric(ops*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mops/s")
+}
+
+// BenchmarkEngineSWSM measures raw simulation throughput of the
+// superscalar machine.
+func BenchmarkEngineSWSM(b *testing.B) {
+	flo, _ := suites(b)
+	ops := float64(flo.SWSM.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flo.RunSWSM(daesim.Params{Window: 64, MD: 60}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(ops*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mops/s")
+}
+
+// BenchmarkLowering measures trace construction and machine lowering.
+func BenchmarkLowering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr, err := daesim.Workload("MDG", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := daesim.NewSuite(tr, daesim.Classic); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (DM latency-hiding effectiveness
+// for the seven programs, MD=60) and reports TRACK's unlimited-window
+// LHE, the poorly-effective band's headline value.
+func BenchmarkTable1(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewContext()
+		res, err := ctx.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.Rows[len(res.Rows)-1].Unlimited
+	}
+	b.ReportMetric(last, "LHE(TRACK,inf)")
+}
+
+func benchFigure(b *testing.B, workload string) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewContext()
+		res, err := ctx.Figure(workload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := len(res.Series[2].Y) - 1
+		gap = res.Series[2].Y[n] / res.Series[3].Y[n]
+	}
+	b.ReportMetric(gap, "DM/SWSM@w100,md60")
+}
+
+// BenchmarkFigure4 regenerates Figure 4 (FLO52Q speedup vs window) and
+// reports the DM/SWSM speedup gap at window 100, MD=60.
+func BenchmarkFigure4(b *testing.B) { benchFigure(b, "FLO52Q") }
+
+// BenchmarkFigure5 regenerates Figure 5 (MDG speedup vs window).
+func BenchmarkFigure5(b *testing.B) { benchFigure(b, "MDG") }
+
+// BenchmarkFigure6 regenerates Figure 6 (TRACK speedup vs window).
+func BenchmarkFigure6(b *testing.B) { benchFigure(b, "TRACK") }
+
+func benchRatioFigure(b *testing.B, workload string) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewContext()
+		res, err := ctx.RatioFigure(workload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		md60 := res.Series[len(res.Series)-1]
+		// Ratio at the realistic DM window of 60 slots.
+		for j, x := range md60.X {
+			if x == 60 {
+				ratio = md60.Y[j]
+			}
+		}
+	}
+	b.ReportMetric(ratio, "ratio@w60,md60")
+}
+
+// BenchmarkFigure7 regenerates Figure 7 (FLO52Q equivalent window ratio)
+// and reports the MD=60 ratio at a 60-slot DM window.
+func BenchmarkFigure7(b *testing.B) { benchRatioFigure(b, "FLO52Q") }
+
+// BenchmarkFigure8 regenerates Figure 8 (MDG equivalent window ratio).
+func BenchmarkFigure8(b *testing.B) { benchRatioFigure(b, "MDG") }
+
+// BenchmarkFigure9 regenerates Figure 9 (TRACK equivalent window ratio).
+func BenchmarkFigure9(b *testing.B) { benchRatioFigure(b, "TRACK") }
+
+// BenchmarkAblationSplit regenerates the A1 issue-width-split ablation
+// point grid for TRACK.
+func BenchmarkAblationSplit(b *testing.B) {
+	_, track := suites(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, split := range [][2]int{{2, 7}, {4, 5}, {6, 3}} {
+			if _, err := track.RunDM(daesim.Params{Window: 64, MD: 60, AUWidth: split[0], DUWidth: split[1]}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEquivalentWindowSearch measures one Figure 7-9 search step:
+// finding the SWSM window matching a DM configuration.
+func BenchmarkEquivalentWindowSearch(b *testing.B) {
+	flo, _ := suites(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := daesim.EquivalentWindowRatio(flo, daesim.Params{Window: 50, MD: 60}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

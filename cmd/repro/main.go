@@ -1,0 +1,121 @@
+// Command repro regenerates every table and figure of the paper into a
+// results directory.
+//
+// Usage:
+//
+//	repro [-out results] [-scale 1] [-exp all|table1|fig4|fig5|fig6|fig7|fig8|fig9|cutoffs|bigwindow|esw|ablations]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"daesim/internal/experiments"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig4..fig9, cutoffs, bigwindow, esw, ablations, expansion, policies, retire, cache, complexity")
+	flag.Parse()
+
+	ctx := experiments.NewContext()
+	ctx.Scale = *scale
+
+	if err := run(ctx, *exp, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx *experiments.Context, exp, out string) error {
+	if exp == "all" {
+		_, err := ctx.WriteAll(out, os.Stdout)
+		return err
+	}
+	figures := map[string]string{"fig4": "FLO52Q", "fig5": "MDG", "fig6": "TRACK"}
+	ratios := map[string]string{"fig7": "FLO52Q", "fig8": "MDG", "fig9": "TRACK"}
+	switch {
+	case exp == "table1":
+		t, err := ctx.Table1()
+		if err != nil {
+			return err
+		}
+		return t.Render(os.Stdout)
+	case figures[exp] != "":
+		f, err := ctx.Figure(figures[exp])
+		if err != nil {
+			return err
+		}
+		return f.Render(os.Stdout)
+	case ratios[exp] != "":
+		f, err := ctx.RatioFigure(ratios[exp])
+		if err != nil {
+			return err
+		}
+		return f.Render(os.Stdout)
+	case exp == "cutoffs":
+		c, err := ctx.Cutoffs()
+		if err != nil {
+			return err
+		}
+		return c.Render(os.Stdout)
+	case exp == "bigwindow":
+		b, err := ctx.BigWindow()
+		if err != nil {
+			return err
+		}
+		return b.Render(os.Stdout)
+	case exp == "esw":
+		e, err := ctx.ESWStudy()
+		if err != nil {
+			return err
+		}
+		return e.Render(os.Stdout)
+	case exp == "ablations":
+		as, err := ctx.Ablations()
+		if err != nil {
+			return err
+		}
+		for _, a := range as {
+			if err := a.Render(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	case exp == "expansion":
+		e, err := ctx.CodeExpansion()
+		if err != nil {
+			return err
+		}
+		return e.Render(os.Stdout)
+	case exp == "policies":
+		p, err := ctx.PolicyStudy()
+		if err != nil {
+			return err
+		}
+		return p.Render(os.Stdout)
+	case exp == "retire":
+		r, err := ctx.RetireStudy()
+		if err != nil {
+			return err
+		}
+		return r.Render(os.Stdout)
+	case exp == "cache":
+		r, err := ctx.CacheStudy()
+		if err != nil {
+			return err
+		}
+		return r.Render(os.Stdout)
+	case exp == "complexity":
+		r, err := ctx.ComplexityStudy()
+		if err != nil {
+			return err
+		}
+		return r.Render(os.Stdout)
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"daesim/internal/experiments"
+)
+
+func TestSingleExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment regeneration is slow")
+	}
+	ctx := experiments.NewContext()
+	// Stdout-printing paths for a representative subset (shared context
+	// caches the workload suites across them).
+	for _, exp := range []string{"table1", "fig6", "cutoffs", "esw", "expansion", "cache"} {
+		if err := run(ctx, exp, t.TempDir()); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+	}
+	if err := run(ctx, "not-an-experiment", t.TempDir()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Command tracedump inspects workload traces: statistics, partition
+// summaries, listings and binary export/import.
+//
+// Usage:
+//
+//	tracedump -workload MDG [-n 40] [-stats] [-partition] [-o trace.bin]
+//	tracedump -i trace.bin -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"daesim/internal/isa"
+	"daesim/internal/partition"
+	"daesim/internal/trace"
+	"daesim/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "workload to build (TRFD ADM FLO52Q DYFESM QCD MDG TRACK)")
+		in       = flag.String("i", "", "read a binary trace instead of building a workload")
+		out      = flag.String("o", "", "write the trace in binary format to this file")
+		n        = flag.Int("n", 20, "instructions to list (0 = all)")
+		stats    = flag.Bool("stats", false, "print composition statistics")
+		part     = flag.Bool("partition", false, "print AU/DU partition summary")
+		reuse    = flag.Bool("reuse", false, "print line-grain reuse profile")
+		dot      = flag.String("dot", "", "write the dependence graph (first -n instructions) as Graphviz to this file")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		list     = flag.Bool("list", false, "list instructions")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *workload, *in, *out, *dot, *n, *scale, *stats, *part, *reuse, *list); err != nil {
+		fmt.Fprintf(os.Stderr, "tracedump: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, workload, in, out, dot string, n, scale int, stats, part, reuse, list bool) error {
+	var tr *trace.Trace
+	switch {
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err = trace.Read(f)
+		if err != nil {
+			return err
+		}
+	case workload != "":
+		var err error
+		tr, err = workloads.Build(workload, scale)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -workload or -i (known workloads: %v)", workloads.Names())
+	}
+
+	if stats {
+		st := tr.Stats()
+		fmt.Fprintf(w, "trace %s: %v\n", tr.Name, st)
+		fmt.Fprintf(w, "critical path: %d cycles at md=0, %d at md=60; mean ILP %.1f\n",
+			tr.CriticalPath(isa.DefaultTiming(0)), tr.CriticalPath(isa.DefaultTiming(60)), tr.MeanILP())
+	}
+	if reuse {
+		p := tr.Reuse()
+		fmt.Fprintf(w, "reuse: %d refs over %d lines; median stack distance %d\n", p.Refs, p.Lines, p.MedianDistance())
+		for _, c := range []int{16, 64, 256, 1024} {
+			fmt.Fprintf(w, "  fully associative %4d lines would hit %5.1f%%\n", c, 100*p.HitRate(c))
+		}
+	}
+	if dot != "" {
+		f, err := os.Create(dot)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tr.WriteDot(f, n); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", dot)
+	}
+	if part {
+		for _, pol := range partition.Policies() {
+			a, err := partition.Partition(tr, pol)
+			if err != nil {
+				return err
+			}
+			s := a.Stats()
+			fmt.Fprintf(w, "partition %-10s AU=%d DU=%d slice=%d self-loads=%d\n",
+				pol, s.AUOps, s.DUOps, s.SliceSize, s.SelfLoads)
+		}
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.Write(f, tr); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s (%d instructions)\n", out, tr.Len())
+	}
+	if list || (!stats && !part && !reuse && out == "" && dot == "") {
+		return trace.Dump(w, tr, n)
+	}
+	return nil
+}

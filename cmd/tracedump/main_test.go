@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStatsAndPartitionAndReuse(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "MDG", "", "", "", 0, 1, true, true, true, false); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"trace MDG", "critical path", "partition classic", "self-loads", "reuse:", "fully associative"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestListDefault(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "TRFD", "", "", "", 5, 1, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "showing 5") {
+		t.Fatalf("default listing missing:\n%s", b.String())
+	}
+}
+
+func TestBinaryRoundTripAndDot(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "t.bin")
+	dot := filepath.Join(dir, "t.dot")
+	var b strings.Builder
+	if err := run(&b, "QCD", "", bin, dot, 10, 1, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	// Read the binary back and print stats.
+	b.Reset()
+	if err := run(&b, "", bin, "", "", 0, 1, true, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "trace QCD") {
+		t.Fatalf("round trip lost the trace:\n%s", b.String())
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph") {
+		t.Fatal("dot export malformed")
+	}
+}
+
+func TestNeedsInput(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "", "", "", "", 0, 1, true, false, false, false); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}

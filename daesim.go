@@ -1,0 +1,188 @@
+// Package daesim reproduces Jones & Topham, "A Comparison of Data
+// Prefetching on an Access Decoupled and Superscalar Machine" (MICRO-30,
+// 1997): a trace-driven simulator of an access decoupled machine (DM) and
+// a single-window out-of-order superscalar machine (SWSM), the seven
+// PERFECT-club-style workloads the paper evaluates, and drivers that
+// regenerate every table and figure of its evaluation.
+//
+// # Quick start
+//
+//	tr, _ := daesim.Workload("FLO52Q", 1)
+//	suite, _ := daesim.NewSuite(tr, daesim.Classic)
+//	res, _ := suite.RunDM(daesim.Params{Window: 64, MD: 60})
+//	fmt.Println(res.Cycles, res.IPC())
+//
+// # Architecture
+//
+// Traces (package-internal dataflow DAGs with perfect renaming and no
+// branches, per the paper's idealized environment) are authored with the
+// kernel builder, partitioned into AU/DU streams, lowered to machine
+// programs, and executed on an event-driven out-of-order window engine.
+// See DESIGN.md for the full inventory and EXPERIMENTS.md for measured
+// results against the paper.
+package daesim
+
+import (
+	"daesim/internal/engine"
+	"daesim/internal/experiments"
+	"daesim/internal/isa"
+	"daesim/internal/kernel"
+	"daesim/internal/machine"
+	"daesim/internal/memsys"
+	"daesim/internal/metrics"
+	"daesim/internal/partition"
+	"daesim/internal/trace"
+	"daesim/internal/workloads"
+)
+
+// Machine models.
+type (
+	// Kind selects a machine model: DM or SWSM.
+	Kind = machine.Kind
+	// Params configures one simulation run; the zero value plus Window and
+	// MD reproduces the paper's configuration (AU/DU widths 4/5, SWSM
+	// width 9, FP latency 3, window-scaled memory queue).
+	Params = machine.Params
+	// Suite holds the lowered programs for one trace; build once, run many
+	// configurations.
+	Suite = machine.Suite
+	// Result reports cycles and microarchitectural statistics.
+	Result = engine.Result
+	// MemModel abstracts the memory system (see Fixed, Ports, Outstanding,
+	// Bypass).
+	MemModel = engine.MemModel
+)
+
+// Machine kinds.
+const (
+	// DM is the access decoupled machine (AU + DU + decoupled memory).
+	DM = machine.DM
+	// SWSM is the single-window superscalar machine with a prefetch buffer.
+	SWSM = machine.SWSM
+)
+
+// Unbounded disables the outstanding-fill queue limit in Params.MemQueue.
+const Unbounded = machine.Unbounded
+
+// Partition policies for the decoupled machine.
+type Policy = partition.Policy
+
+const (
+	// Classic places all integer computation on the AU (the paper's
+	// machine).
+	Classic = partition.Classic
+	// SliceOnly places only the address slice on the AU.
+	SliceOnly = partition.SliceOnly
+	// Balance greedily balances non-slice integer ops.
+	Balance = partition.Balance
+)
+
+// Traces and workloads.
+type (
+	// Trace is a machine-independent instruction trace.
+	Trace = trace.Trace
+	// WorkloadSpec describes one of the seven benchmark models.
+	WorkloadSpec = workloads.Spec
+	// KernelBuilder authors custom workload traces.
+	KernelBuilder = kernel.Builder
+	// Val is an SSA value handle produced by the kernel builder.
+	Val = kernel.Val
+	// Timing holds latency parameters (MD, FP latency, copy latency).
+	Timing = isa.Timing
+)
+
+// NewSuite lowers tr for both machines under the given partition policy.
+func NewSuite(tr *Trace, pol Policy) (*Suite, error) { return machine.NewSuite(tr, pol) }
+
+// Workload builds one of the seven PERFECT-club-style traces by name
+// (TRFD, ADM, FLO52Q, DYFESM, QCD, MDG, TRACK) at the given scale
+// (1 = the calibrated default size).
+func Workload(name string, scale int) (*Trace, error) { return workloads.Build(name, scale) }
+
+// Workloads lists the seven benchmark specs in the paper's Table 1 order.
+func Workloads() []WorkloadSpec { return workloads.Catalog() }
+
+// NewKernel returns a builder for authoring a custom workload trace.
+func NewKernel(name string) *KernelBuilder { return kernel.New(name) }
+
+// SerialCycles is the serial-reference execution time used as the
+// speedup baseline (see machine.SerialCycles).
+func SerialCycles(tr *Trace, tm Timing) int64 { return machine.SerialCycles(tr, tm) }
+
+// DefaultTiming returns the paper's latencies with the given memory
+// differential.
+func DefaultTiming(md int) Timing { return isa.DefaultTiming(md) }
+
+// Metrics.
+var (
+	// Speedup returns serial/actual.
+	Speedup = metrics.Speedup
+	// LHE returns the latency-hiding effectiveness T_perfect/T_actual.
+	LHE = metrics.LHE
+	// EquivalentWindow returns the smallest SWSM window matching a target
+	// time.
+	EquivalentWindow = metrics.EquivalentWindow
+	// EquivalentWindowRatio runs the DM and reports the SWSM/DM window
+	// ratio of Figures 7-9.
+	EquivalentWindowRatio = metrics.EquivalentWindowRatio
+	// Crossover finds the first window where the SWSM matches the DM.
+	Crossover = metrics.Crossover
+)
+
+// Memory models for Params.Mem (the default is the paper's fixed
+// differential behind a window-scaled outstanding-fill queue).
+type (
+	// FixedMem is the paper's fixed-differential model.
+	FixedMem = memsys.Fixed
+	// PortsMem models finite memory bandwidth.
+	PortsMem = memsys.Ports
+	// OutstandingMem bounds outstanding fills (decoupled-memory or
+	// prefetch-buffer capacity).
+	OutstandingMem = memsys.Outstanding
+	// BypassMem is the paper's future-work bypass buffer: a line-grain LRU
+	// buffer capturing the temporal locality exposed by decoupling.
+	BypassMem = memsys.Bypass
+	// CacheHierarchy is a multi-level LRU cache refining the fixed
+	// differential (full misses pay MD).
+	CacheHierarchy = memsys.Hierarchy
+	// CacheLevel configures one level of a CacheHierarchy.
+	CacheLevel = memsys.CacheLevel
+)
+
+// NewPortsMem returns a bandwidth-limited memory model.
+func NewPortsMem(md int64, ports int) (*PortsMem, error) { return memsys.NewPorts(md, ports) }
+
+// NewOutstandingMem returns a capacity-limited memory model.
+func NewOutstandingMem(md int64, capacity int) (*OutstandingMem, error) {
+	return memsys.NewOutstanding(md, capacity)
+}
+
+// NewBypassMem returns a bypass-buffer memory model.
+func NewBypassMem(md int64, lines int) (*BypassMem, error) { return memsys.NewBypass(md, lines) }
+
+// NewCacheHierarchy returns a multi-level cache memory model ordered from
+// L1 outward.
+func NewCacheHierarchy(md int64, levels ...CacheLevel) (*CacheHierarchy, error) {
+	return memsys.NewHierarchy(md, levels...)
+}
+
+// DefaultCacheHierarchy returns the Pentium-Pro-flavoured two-level
+// hierarchy used by the A7 study.
+func DefaultCacheHierarchy(md int64) (*CacheHierarchy, error) {
+	return memsys.DefaultHierarchy(md)
+}
+
+// Experiments: regenerate the paper's evaluation.
+type (
+	// Experiments caches workloads across experiment drivers.
+	Experiments = experiments.Context
+	// Table1Result is the reproduction of Table 1.
+	Table1Result = experiments.Table1Result
+	// FigureResult is the reproduction of one of Figures 4-6.
+	FigureResult = experiments.FigureResult
+	// RatioResult is the reproduction of one of Figures 7-9.
+	RatioResult = experiments.RatioResult
+)
+
+// NewExperiments returns an experiment context at scale 1.
+func NewExperiments() *Experiments { return experiments.NewContext() }

@@ -1,0 +1,49 @@
+// Latency-hiding study (the paper's Table 1): measure how effectively
+// the decoupled machine hides a 60-cycle memory differential for all
+// seven workloads across window sizes, reproducing the three effectiveness
+// bands and the dip-then-recover shape the paper reports.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"daesim"
+)
+
+func main() {
+	windows := []int{8, 16, 32, 64, 128, 0} // 0 = unlimited
+	fmt.Printf("DM latency-hiding effectiveness, MD=60 (LHE = T_perfect/T_actual)\n\n")
+	fmt.Printf("%-8s", "prog")
+	for _, w := range windows {
+		if w == 0 {
+			fmt.Printf("%10s", "unlimited")
+		} else {
+			fmt.Printf("%10d", w)
+		}
+	}
+	fmt.Println()
+
+	for _, spec := range daesim.Workloads() {
+		tr := spec.Build(1)
+		suite, err := daesim.NewSuite(tr, daesim.Classic)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s", spec.Name)
+		for _, w := range windows {
+			actual, err := suite.RunDM(daesim.Params{Window: w, MD: 60})
+			if err != nil {
+				log.Fatal(err)
+			}
+			perfect, err := suite.PerfectCycles(daesim.DM, daesim.Params{Window: w, MD: 60})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%10.2f", daesim.LHE(perfect, actual.Cycles))
+		}
+		fmt.Printf("   (%s)\n", spec.Band)
+	}
+	fmt.Println("\nNote the bands at unlimited windows (highly / moderately / poorly)")
+	fmt.Println("and that finite windows hide far less than unlimited resources.")
+}

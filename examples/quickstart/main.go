@@ -1,0 +1,49 @@
+// Quickstart: build the paper's showcase workload (FLO52Q), run both
+// machine models at a realistic window size, and print the headline
+// comparison — the decoupled machine hides a 60-cycle memory differential
+// that swamps the single-window superscalar.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"daesim"
+)
+
+func main() {
+	tr, err := daesim.Workload("FLO52Q", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	suite, err := daesim.NewSuite(tr, daesim.Classic)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload FLO52Q: %d instructions\n\n", tr.Len())
+	fmt.Printf("%-8s %-8s %12s %10s %10s\n", "machine", "md", "cycles", "IPC", "speedup")
+	for _, md := range []int{0, 60} {
+		serial := daesim.SerialCycles(tr, daesim.DefaultTiming(md))
+		for _, kind := range []daesim.Kind{daesim.DM, daesim.SWSM} {
+			res, err := suite.Run(kind, daesim.Params{Window: 64, MD: md})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8s %-8d %12d %10.2f %10.1f\n",
+				kind, md, res.Cycles, res.IPC(), daesim.Speedup(serial, res.Cycles))
+		}
+	}
+
+	dm, err := suite.RunDM(daesim.Params{Window: 64, MD: 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw, err := suite.RunSWSM(daesim.Params{Window: 64, MD: 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAt window 64 and MD=60 the decoupled machine is %.1fx faster;\n",
+		float64(sw.Cycles)/float64(dm.Cycles))
+	fmt.Println("at MD=0 and large windows the superscalar's full 9-wide issue wins instead.")
+}

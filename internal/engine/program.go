@@ -1,0 +1,158 @@
+// Package engine simulates out-of-order instruction windows. It executes
+// machine programs (streams of unit-bound operations with true-dependence
+// and memory-fill edges) under the paper's idealized timing model:
+// in-order dispatch into a bounded window, oldest-first issue of up to
+// IssueWidth ready operations per cycle per core, fixed operation
+// latencies, and memory fills that arrive a configurable number of cycles
+// after the address is sent.
+package engine
+
+import (
+	"fmt"
+
+	"daesim/internal/isa"
+)
+
+// NoDep marks an absent dependence reference in an Op.
+const NoDep int32 = -1
+
+// Op is one machine operation. Operations appear in a Program in global
+// program order; each is bound to one core (unit) and dispatches in order
+// within that core's stream.
+type Op struct {
+	// Kind selects latency and memory behaviour.
+	Kind isa.OpKind
+	// Unit is the core that executes the op.
+	Unit isa.Unit
+	// Srcs are true-dependence producers: this op becomes ready only after
+	// each producer completes.
+	Srcs []int32
+	// MemSrc, for consume ops (LoadRecv/Access), is the matching send op;
+	// the edge delay is the memory fill time rather than the producer
+	// latency.
+	MemSrc int32
+	// Addr is the byte address for memory ops (sends and consumes); used
+	// only by locality-aware memory models.
+	Addr uint64
+	// Orig is the index of the originating trace instruction, used for
+	// effective-single-window and slippage measurement.
+	Orig int32
+}
+
+// Program is an immutable lowered program plus precomputed dependence
+// structure. Build one with NewProgram and reuse it across many Run calls.
+type Program struct {
+	// Name identifies the program (workload + machine lowering).
+	Name string
+	// Ops is the operation stream in global program order.
+	Ops []Op
+	// NumUnits is the number of cores the ops reference (1 or 2).
+	NumUnits int
+	// TraceLen is the length of the originating trace (for IPC reporting).
+	TraceLen int
+
+	streams   [][]int32 // per-unit op indices, program order
+	consPlain [][]int32 // completion-edge consumers per op
+	consFill  [][]int32 // fill-edge consumers per op (sends only)
+	nDeps     []int32   // static dependence count per op
+}
+
+// NewProgram validates ops and precomputes dependence structure.
+func NewProgram(name string, ops []Op, numUnits, traceLen int) (*Program, error) {
+	if numUnits < 1 {
+		return nil, fmt.Errorf("engine: program %s: numUnits %d < 1", name, numUnits)
+	}
+	p := &Program{Name: name, Ops: ops, NumUnits: numUnits, TraceLen: traceLen}
+	p.streams = make([][]int32, numUnits)
+	p.consPlain = make([][]int32, len(ops))
+	p.consFill = make([][]int32, len(ops))
+	p.nDeps = make([]int32, len(ops))
+	for i := range ops {
+		op := &ops[i]
+		if !op.Kind.Valid() {
+			return nil, fmt.Errorf("engine: program %s: op %d: invalid kind %d", name, i, op.Kind)
+		}
+		if int(op.Unit) >= numUnits {
+			return nil, fmt.Errorf("engine: program %s: op %d: unit %v out of range (%d units)", name, i, op.Unit, numUnits)
+		}
+		for _, s := range op.Srcs {
+			if s < 0 || s >= int32(i) {
+				return nil, fmt.Errorf("engine: program %s: op %d: src %d not strictly backwards", name, i, s)
+			}
+			p.consPlain[s] = append(p.consPlain[s], int32(i))
+			p.nDeps[i]++
+		}
+		switch {
+		case op.Kind.IsConsume():
+			if op.MemSrc < 0 || op.MemSrc >= int32(i) {
+				return nil, fmt.Errorf("engine: program %s: op %d: consume without valid MemSrc", name, i)
+			}
+			if !ops[op.MemSrc].Kind.IsSend() {
+				return nil, fmt.Errorf("engine: program %s: op %d: MemSrc %d is %v, not a send", name, i, op.MemSrc, ops[op.MemSrc].Kind)
+			}
+			p.consFill[op.MemSrc] = append(p.consFill[op.MemSrc], int32(i))
+			p.nDeps[i]++
+		case op.MemSrc != NoDep:
+			return nil, fmt.Errorf("engine: program %s: op %d: MemSrc on non-consume op %v", name, i, op.Kind)
+		}
+		p.streams[op.Unit] = append(p.streams[op.Unit], int32(i))
+	}
+	return p, nil
+}
+
+// MustProgram is NewProgram but panics on error; used by lowerings that
+// are correct by construction.
+func MustProgram(name string, ops []Op, numUnits, traceLen int) *Program {
+	p, err := NewProgram(name, ops, numUnits, traceLen)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Len returns the number of machine operations.
+func (p *Program) Len() int { return len(p.Ops) }
+
+// Stream returns the op indices executed by the given unit, program order.
+func (p *Program) Stream(u isa.Unit) []int32 { return p.streams[u] }
+
+// KindCounts returns the number of ops of each kind.
+func (p *Program) KindCounts() [isa.NumOpKinds]int {
+	var c [isa.NumOpKinds]int
+	for i := range p.Ops {
+		c[p.Ops[i].Kind]++
+	}
+	return c
+}
+
+// DataflowTime returns the resource-free execution time of the program:
+// the longest dependence path with the given timing and the fixed-
+// differential memory model. The engine must reach exactly this time when
+// windows and widths are unlimited; tests rely on that.
+func (p *Program) DataflowTime(tm isa.Timing) int64 {
+	done := make([]int64, len(p.Ops))
+	fill := make([]int64, len(p.Ops))
+	var max int64
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		var ready int64
+		for _, s := range op.Srcs {
+			if done[s] > ready {
+				ready = done[s]
+			}
+		}
+		if op.Kind.IsConsume() {
+			if f := fill[op.MemSrc]; f > ready {
+				ready = f
+			}
+		}
+		done[i] = ready + int64(tm.Latency(op.Kind))
+		if op.Kind.IsSend() {
+			fill[i] = done[i] + int64(tm.MD)
+		}
+		if done[i] > max {
+			max = done[i]
+		}
+	}
+	return max
+}

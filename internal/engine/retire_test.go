@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"daesim/internal/isa"
+)
+
+// retireProgram: a load followed by independent ints; under in-order
+// retirement the ints pile up behind the waiting receive.
+func retireProgram() *Program {
+	ops := []Op{
+		{Kind: isa.OpLoadSend, MemSrc: NoDep, Orig: 0},
+		{Kind: isa.OpLoadRecv, MemSrc: 0, Orig: 0},
+		{Kind: isa.OpInt, MemSrc: NoDep, Orig: 1},
+		{Kind: isa.OpInt, MemSrc: NoDep, Orig: 2},
+		{Kind: isa.OpInt, MemSrc: NoDep, Orig: 3},
+		{Kind: isa.OpInt, MemSrc: NoDep, Orig: 4},
+	}
+	return MustProgram("retire", ops, 1, 5)
+}
+
+func TestRetireInOrderBlocksBehindLoads(t *testing.T) {
+	p := retireProgram()
+	base := Config{Timing: tm(10), Cores: []isa.CoreConfig{{Window: 2, IssueWidth: 2}}}
+	def := mustRun(t, p, base)
+	if def.Cycles != 12 {
+		t.Fatalf("default cycles = %d, want 12", def.Cycles)
+	}
+	inorder := base
+	inorder.RetireInOrder = true
+	rob := mustRun(t, p, inorder)
+	if rob.Cycles != 14 {
+		t.Fatalf("in-order retire cycles = %d, want 14", rob.Cycles)
+	}
+}
+
+func TestRetireInOrderNeverFaster(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		units := 1 + rng.Intn(2)
+		p := randomProgram(rng, 150, units)
+		cores := make([]isa.CoreConfig, units)
+		for i := range cores {
+			cores[i] = isa.CoreConfig{Window: 4 + rng.Intn(12), IssueWidth: 1 + rng.Intn(4)}
+		}
+		md := rng.Intn(40)
+		def, err := Run(p, Config{Timing: tm(md), Cores: cores})
+		if err != nil {
+			return false
+		}
+		rob, err := Run(p, Config{Timing: tm(md), Cores: cores, RetireInOrder: true})
+		if err != nil {
+			return false
+		}
+		if rob.Cycles < def.Cycles {
+			t.Logf("seed=%d: in-order retire faster: %d < %d", seed, rob.Cycles, def.Cycles)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetireInOrderMatchesWithUnlimitedWindow(t *testing.T) {
+	// With an unlimited window, slot reclamation policy cannot matter.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng, 120, 2)
+		cores := []isa.CoreConfig{{Window: 0, IssueWidth: 4}, {Window: 0, IssueWidth: 5}}
+		def, err := Run(p, Config{Timing: tm(25), Cores: cores})
+		if err != nil {
+			return false
+		}
+		rob, err := Run(p, Config{Timing: tm(25), Cores: cores, RetireInOrder: true})
+		if err != nil {
+			return false
+		}
+		return def.Cycles == rob.Cycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetireInOrderOccupancyAccounting(t *testing.T) {
+	p := retireProgram()
+	cfg := Config{Timing: tm(10), Cores: []isa.CoreConfig{{Window: 2, IssueWidth: 2}}, RetireInOrder: true}
+	r := mustRun(t, p, cfg)
+	if r.Cores[0].MaxOcc != 2 {
+		t.Fatalf("max occupancy = %d, want 2", r.Cores[0].MaxOcc)
+	}
+	// Occupancy integral must be positive and bounded by window*cycles.
+	if r.Cores[0].OccIntegral <= 0 || r.Cores[0].OccIntegral > 2*r.Cycles {
+		t.Fatalf("occupancy integral %d out of range", r.Cores[0].OccIntegral)
+	}
+}

@@ -1,0 +1,425 @@
+package engine
+
+import (
+	"fmt"
+
+	"daesim/internal/isa"
+)
+
+// MemModel abstracts the memory system seen by send/consume operations.
+// The engine calls RequestFill when a send op completes (in nondecreasing
+// cycle order) and Consume when the matching consume op issues. The
+// paper's fixed-differential model is built in; locality-aware models
+// live in internal/memsys.
+type MemModel interface {
+	// RequestFill reports when the fill for addr arrives, given that the
+	// address reached the memory system at cycle sent. Must return a value
+	// >= sent.
+	RequestFill(addr uint64, sent int64) int64
+	// Consume notifies the model that the buffered value for addr was
+	// consumed at the given cycle.
+	Consume(addr uint64, cycle int64)
+	// Reset prepares the model for a fresh run.
+	Reset()
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Timing holds the latency parameters.
+	Timing isa.Timing
+	// Cores configures each core; its length must equal the program's
+	// NumUnits.
+	Cores []isa.CoreConfig
+	// Mem is the memory model; nil selects the paper's fixed-differential
+	// model (fill arrives Timing.MD cycles after the send completes).
+	Mem MemModel
+	// CollectESW enables effective-single-window and slippage statistics
+	// (slightly more work per cycle).
+	CollectESW bool
+	// HoldSendSlots makes send operations occupy their window slot until
+	// the fill returns instead of completing in one cycle. Fill timing is
+	// unchanged; only window pressure differs. This removes the
+	// fire-and-forget property that gives the decoupled machine its
+	// slippage (ablation A3 in DESIGN.md).
+	HoldSendSlots bool
+	// RetireInOrder frees window slots in program order (reorder-buffer
+	// style): a completed op's slot is reclaimed only once every older op
+	// in the same core has completed. The default reclaims slots at
+	// completion. In-order retirement models mid-90s RUU/ROB machines and
+	// increases window pressure behind long-latency operations (ablation
+	// A6 in DESIGN.md).
+	RetireInOrder bool
+}
+
+// Validate reports configuration errors against the program.
+func (c *Config) Validate(p *Program) error {
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	if len(c.Cores) != p.NumUnits {
+		return fmt.Errorf("engine: %d core configs for %d units", len(c.Cores), p.NumUnits)
+	}
+	for i, cc := range c.Cores {
+		if err := cc.Validate(); err != nil {
+			return fmt.Errorf("engine: core %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CoreStats reports per-core execution statistics.
+type CoreStats struct {
+	// Issued is the number of operations issued.
+	Issued int64
+	// IssuedByKind breaks Issued down by operation kind.
+	IssuedByKind [isa.NumOpKinds]int64
+	// BusyCycles counts cycles in which the core issued at least one op.
+	BusyCycles int64
+	// IssueHist[k] counts busy cycles that issued exactly k ops
+	// (k capped at the histogram length minus one).
+	IssueHist []int64
+	// OccIntegral is the time integral of window occupancy (slot-cycles).
+	OccIntegral int64
+	// MaxOcc is the peak window occupancy observed.
+	MaxOcc int
+}
+
+// AvgOcc returns mean window occupancy over the run.
+func (s *CoreStats) AvgOcc(cycles int64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(s.OccIntegral) / float64(cycles)
+}
+
+// Result reports the outcome of a run.
+type Result struct {
+	// Cycles is the total execution time.
+	Cycles int64
+	// Ops is the number of machine operations executed.
+	Ops int
+	// TraceLen is the originating trace length (architecture-neutral
+	// instructions), for IPC computation.
+	TraceLen int
+	// Cores holds per-core statistics.
+	Cores []CoreStats
+	// MaxESW and AvgESW measure the effective single window: the span, in
+	// trace instructions, from the oldest in-flight op to the youngest
+	// dispatched op. Collected only when Config.CollectESW is set.
+	MaxESW int64
+	AvgESW float64
+	// MaxSlip and AvgSlip measure AU run-ahead: the distance, in trace
+	// instructions, between the AU and DU dispatch frontiers (two-unit
+	// programs only).
+	MaxSlip int64
+	AvgSlip float64
+	// Fills is the number of memory fills requested.
+	Fills int64
+	// MaxFillsInFlight is the peak number of outstanding fills.
+	MaxFillsInFlight int
+}
+
+// IPC returns trace instructions completed per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.TraceLen) / float64(r.Cycles)
+}
+
+// OpsPerCycle returns machine operations issued per cycle.
+func (r *Result) OpsPerCycle() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Ops) / float64(r.Cycles)
+}
+
+// op lifecycle states
+const (
+	stWaiting  uint8 = iota // not yet dispatched
+	stInWindow              // dispatched, not issued
+	stIssued                // issued, completion pending
+	stDone                  // completed
+)
+
+// eventBucket collects the events that fire at one cycle.
+type eventBucket struct {
+	comps []int32 // ops completing (free slot, wake plain consumers)
+	fills []int32 // send ops whose fill arrives (wake fill consumers)
+}
+
+type coreRun struct {
+	cfg       isa.CoreConfig
+	stream    []int32
+	next      int // dispatch frontier within stream
+	occ       int
+	window    int // effective window (large number when unlimited)
+	ready     i32Heap
+	oldestPtr int // lazy pointer to oldest possibly-in-flight stream position
+	retirePtr int // in-order retirement frontier (RetireInOrder only)
+	lastOrig  int32
+	stats     CoreStats
+	lastTouch int64
+}
+
+func (c *coreRun) touch(cycle int64) {
+	c.stats.OccIntegral += int64(c.occ) * (cycle - c.lastTouch)
+	c.lastTouch = cycle
+}
+
+const histCap = 32
+
+// Run executes the program under the configuration and returns statistics.
+// Runs are deterministic: identical inputs produce identical results.
+func Run(p *Program, cfg Config) (*Result, error) {
+	if err := cfg.Validate(p); err != nil {
+		return nil, err
+	}
+	n := len(p.Ops)
+	res := &Result{Ops: n, TraceLen: p.TraceLen, Cores: make([]CoreStats, p.NumUnits)}
+	if n == 0 {
+		return res, nil
+	}
+	if cfg.Mem != nil {
+		cfg.Mem.Reset()
+	}
+	md := int64(cfg.Timing.MD)
+
+	state := make([]uint8, n)
+	pending := make([]int32, n)
+	copy(pending, p.nDeps)
+
+	cores := make([]*coreRun, p.NumUnits)
+	for u := range cores {
+		cc := cfg.Cores[u]
+		window := cc.Window
+		if cc.Unlimited() {
+			window = n + 1
+		}
+		hist := cc.IssueWidth + 1
+		if hist > histCap {
+			hist = histCap
+		}
+		cores[u] = &coreRun{
+			cfg:      cc,
+			stream:   p.streams[u],
+			window:   window,
+			lastOrig: -1,
+		}
+		cores[u].stats.IssueHist = make([]int64, hist)
+	}
+
+	// Event buckets are created at most once per cycle number: schedules
+	// always target the future and fired buckets are never revisited, so a
+	// single heap push per bucket suffices.
+	events := map[int64]*eventBucket{}
+	var eventTimes int64Heap
+	bucketAt := func(t int64) *eventBucket {
+		b := events[t]
+		if b == nil {
+			b = &eventBucket{}
+			events[t] = b
+			eventTimes.push(t)
+		}
+		return b
+	}
+
+	completed := 0
+	var cycle int64
+	var inflight, maxInflight int
+	var eswSamples, slipSamples int64
+	var eswSum, slipSum int64
+
+	wake := func(i int32) {
+		pending[i]--
+		if pending[i] == 0 && state[i] == stInWindow {
+			cores[p.Ops[i].Unit].ready.push(i)
+		}
+	}
+
+	for completed < n {
+		// 1. Fire events due now.
+		if b, ok := events[cycle]; ok {
+			for _, i := range b.comps {
+				state[i] = stDone
+				completed++
+				if !cfg.RetireInOrder {
+					c := cores[p.Ops[i].Unit]
+					c.touch(cycle)
+					c.occ--
+				}
+				for _, consumer := range p.consPlain[i] {
+					wake(consumer)
+				}
+			}
+			if cfg.RetireInOrder && len(b.comps) > 0 {
+				// Reclaim slots in program order up to the oldest
+				// incomplete op of each core.
+				for _, c := range cores {
+					for c.retirePtr < c.next && state[c.stream[c.retirePtr]] == stDone {
+						c.retirePtr++
+						c.touch(cycle)
+						c.occ--
+					}
+				}
+			}
+			for _, i := range b.fills {
+				inflight--
+				for _, consumer := range p.consFill[i] {
+					wake(consumer)
+				}
+			}
+			delete(events, cycle)
+		}
+
+		// 2. Dispatch in program order, per core.
+		for _, c := range cores {
+			dw := c.cfg.EffectiveDispatch()
+			for k := 0; k < dw && c.occ < c.window && c.next < len(c.stream); k++ {
+				i := c.stream[c.next]
+				c.next++
+				c.touch(cycle)
+				c.occ++
+				if c.occ > c.stats.MaxOcc {
+					c.stats.MaxOcc = c.occ
+				}
+				state[i] = stInWindow
+				c.lastOrig = p.Ops[i].Orig
+				if pending[i] == 0 {
+					c.ready.push(i)
+				}
+			}
+		}
+
+		// 3. Issue oldest-first, per core.
+		for _, c := range cores {
+			issued := 0
+			for issued < c.cfg.IssueWidth && !c.ready.empty() {
+				i := c.ready.pop()
+				issued++
+				state[i] = stIssued
+				op := &p.Ops[i]
+				c.stats.Issued++
+				c.stats.IssuedByKind[op.Kind]++
+				lat := int64(cfg.Timing.Latency(op.Kind))
+				done := cycle + lat
+				if op.Kind.IsSend() {
+					arrive := done + md
+					if cfg.Mem != nil {
+						arrive = cfg.Mem.RequestFill(op.Addr, done)
+						if arrive < done {
+							return nil, fmt.Errorf("engine: memory model returned arrival %d before send %d", arrive, done)
+						}
+					}
+					res.Fills++
+					if len(p.consFill[i]) > 0 || cfg.Mem != nil {
+						inflight++
+						if inflight > maxInflight {
+							maxInflight = inflight
+						}
+						fb := bucketAt(arrive)
+						fb.fills = append(fb.fills, i)
+					}
+					if cfg.HoldSendSlots {
+						// The send occupies its slot until the fill returns.
+						done = arrive
+					}
+				}
+				cb := bucketAt(done)
+				cb.comps = append(cb.comps, i)
+				if op.Kind.IsConsume() && cfg.Mem != nil {
+					cfg.Mem.Consume(op.Addr, cycle)
+				}
+			}
+			if issued > 0 {
+				c.stats.BusyCycles++
+				h := issued
+				if h >= len(c.stats.IssueHist) {
+					h = len(c.stats.IssueHist) - 1
+				}
+				c.stats.IssueHist[h]++
+			}
+		}
+
+		// 4. ESW and slippage sampling.
+		if cfg.CollectESW {
+			var youngest int32 = -1
+			oldest := int32(-1)
+			for _, c := range cores {
+				if c.lastOrig > youngest {
+					youngest = c.lastOrig
+				}
+				for c.oldestPtr < c.next && state[c.stream[c.oldestPtr]] == stDone {
+					c.oldestPtr++
+				}
+				if c.oldestPtr < c.next {
+					o := p.Ops[c.stream[c.oldestPtr]].Orig
+					if oldest == -1 || o < oldest {
+						oldest = o
+					}
+				}
+			}
+			if oldest >= 0 && youngest >= oldest {
+				esw := int64(youngest-oldest) + 1
+				eswSum += esw
+				eswSamples++
+				if esw > res.MaxESW {
+					res.MaxESW = esw
+				}
+			}
+			if len(cores) == 2 && cores[0].lastOrig >= 0 && cores[1].lastOrig >= 0 {
+				slip := int64(cores[0].lastOrig - cores[1].lastOrig)
+				slipSum += slip
+				slipSamples++
+				if slip > res.MaxSlip {
+					res.MaxSlip = slip
+				}
+			}
+		}
+
+		// 5. Advance time, fast-forwarding idle stretches.
+		progressNext := false
+		for _, c := range cores {
+			if !c.ready.empty() || (c.next < len(c.stream) && c.occ < c.window) {
+				progressNext = true
+				break
+			}
+		}
+		if progressNext {
+			cycle++
+			continue
+		}
+		if completed == n {
+			break
+		}
+		// Jump to the next event; one must exist or the program deadlocked.
+		next := int64(-1)
+		for !eventTimes.empty() {
+			t := eventTimes.pop()
+			if _, ok := events[t]; ok && t > cycle {
+				next = t
+				break
+			}
+		}
+		if next < 0 {
+			return nil, fmt.Errorf("engine: deadlock at cycle %d with %d/%d ops complete", cycle, completed, n)
+		}
+		cycle = next
+	}
+
+	// Final cycle count: the last completion time.
+	res.Cycles = cycle
+	for u, c := range cores {
+		c.touch(cycle)
+		res.Cores[u] = c.stats
+	}
+	res.MaxFillsInFlight = maxInflight
+	if eswSamples > 0 {
+		res.AvgESW = float64(eswSum) / float64(eswSamples)
+	}
+	if slipSamples > 0 {
+		res.AvgSlip = float64(slipSum) / float64(slipSamples)
+	}
+	return res, nil
+}

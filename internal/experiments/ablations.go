@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"daesim/internal/machine"
+	"daesim/internal/memsys"
+	"daesim/internal/sweep"
+)
+
+// AblationPoint is one measured configuration of an ablation study.
+type AblationPoint struct {
+	Workload string
+	Label    string
+	Cycles   int64
+}
+
+// AblationResult is one ablation study (A1..A5 in DESIGN.md §6).
+type AblationResult struct {
+	ID          string
+	Description string
+	Points      []AblationPoint
+}
+
+// ablationWindow and ablationMD fix the operating point for ablations:
+// a realistic window in the paper's range and the headline differential.
+const (
+	ablationWindow = 64
+	ablationMD     = MDFull
+)
+
+// Ablations runs all design-choice studies on the figure workloads.
+func (c *Context) Ablations() ([]*AblationResult, error) {
+	out := []*AblationResult{}
+	run := func(name string, kind machine.Kind, p machine.Params) (int64, error) {
+		r, err := c.Runner(name)
+		if err != nil {
+			return 0, err
+		}
+		res, err := r.Run(sweep.Point{Kind: kind, P: p})
+		if err != nil {
+			return 0, err
+		}
+		return res.Cycles, nil
+	}
+	figNames := []string{"FLO52Q", "MDG", "TRACK"}
+
+	// A1: issue-width split. The combined width stays 9; the split moves.
+	a1 := &AblationResult{ID: "A1", Description: "DM issue-width split (combined width 9, window 64, MD=60)"}
+	for _, name := range figNames {
+		for _, split := range [][2]int{{2, 7}, {3, 6}, {4, 5}, {5, 4}, {6, 3}} {
+			cyc, err := run(name, machine.DM, machine.Params{
+				Window: ablationWindow, MD: ablationMD,
+				AUWidth: split[0], DUWidth: split[1],
+			})
+			if err != nil {
+				return nil, err
+			}
+			a1.Points = append(a1.Points, AblationPoint{
+				Workload: name,
+				Label:    fmt.Sprintf("AU=%d/DU=%d", split[0], split[1]),
+				Cycles:   cyc,
+			})
+		}
+	}
+	out = append(out, a1)
+
+	// A2: inter-unit copy latency. TRACK has copies on its critical path;
+	// FLO52Q is the copy-free control.
+	a2 := &AblationResult{ID: "A2", Description: "inter-unit copy latency (window 64, MD=60)"}
+	for _, name := range []string{"TRACK", "FLO52Q"} {
+		for _, lat := range []int{1, 2, 4, 8} {
+			cyc, err := run(name, machine.DM, machine.Params{
+				Window: ablationWindow, MD: ablationMD, CopyLat: lat,
+			})
+			if err != nil {
+				return nil, err
+			}
+			a2.Points = append(a2.Points, AblationPoint{
+				Workload: name, Label: fmt.Sprintf("copy=%d", lat), Cycles: cyc,
+			})
+		}
+	}
+	out = append(out, a2)
+
+	// A3: fire-and-forget sends vs slot-held sends. Holding slots removes
+	// the AU's ability to slip ahead — the essence of decoupling.
+	a3 := &AblationResult{ID: "A3", Description: "fire-and-forget vs slot-held sends (DM, window 64, MD=60)"}
+	for _, name := range figNames {
+		for _, hold := range []bool{false, true} {
+			label := "fire-and-forget"
+			if hold {
+				label = "slot-held"
+			}
+			cyc, err := run(name, machine.DM, machine.Params{
+				Window: ablationWindow, MD: ablationMD, HoldSendSlots: hold,
+			})
+			if err != nil {
+				return nil, err
+			}
+			a3.Points = append(a3.Points, AblationPoint{Workload: name, Label: label, Cycles: cyc})
+		}
+	}
+	out = append(out, a3)
+
+	// A4: decoupled-memory capacity. The default is QueueFactor*Window;
+	// the sweep shows capacity bounding the AU's useful run-ahead.
+	a4 := &AblationResult{ID: "A4", Description: "decoupled-memory capacity (DM, window 64, MD=60)"}
+	for _, name := range figNames {
+		for _, q := range []int{8, 16, 32, 64, 128, 256} {
+			cyc, err := run(name, machine.DM, machine.Params{
+				Window: ablationWindow, MD: ablationMD, MemQueue: q,
+			})
+			if err != nil {
+				return nil, err
+			}
+			a4.Points = append(a4.Points, AblationPoint{
+				Workload: name, Label: fmt.Sprintf("queue=%d", q), Cycles: cyc,
+			})
+		}
+		cyc, err := run(name, machine.DM, machine.Params{
+			Window: ablationWindow, MD: ablationMD, MemQueue: machine.Unbounded,
+		})
+		if err != nil {
+			return nil, err
+		}
+		a4.Points = append(a4.Points, AblationPoint{Workload: name, Label: "queue=inf", Cycles: cyc})
+	}
+	out = append(out, a4)
+
+	// A5: the bypass buffer (the paper's future work): a line-grain LRU
+	// buffer in the decoupled memory that captures temporal/spatial
+	// locality exposed by decoupling.
+	a5 := &AblationResult{ID: "A5", Description: "bypass buffer in the decoupled memory (DM, window 64, MD=60)"}
+	for _, name := range figNames {
+		base, err := run(name, machine.DM, machine.Params{Window: ablationWindow, MD: ablationMD})
+		if err != nil {
+			return nil, err
+		}
+		a5.Points = append(a5.Points, AblationPoint{Workload: name, Label: "none", Cycles: base})
+		for _, lines := range []int{16, 64, 256} {
+			bp, err := memsys.NewBypass(int64(ablationMD), lines)
+			if err != nil {
+				return nil, err
+			}
+			cyc, err := run(name, machine.DM, machine.Params{
+				Window: ablationWindow, MD: ablationMD, Mem: bp,
+			})
+			if err != nil {
+				return nil, err
+			}
+			a5.Points = append(a5.Points, AblationPoint{
+				Workload: name,
+				Label:    fmt.Sprintf("bypass=%d lines (hit %.0f%%)", lines, 100*bp.HitRate()),
+				Cycles:   cyc,
+			})
+		}
+	}
+	out = append(out, a5)
+	return out, nil
+}

@@ -1,0 +1,365 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation, plus the auxiliary claims made in its text (DESIGN.md §5).
+//
+// Artifacts:
+//
+//	Table1       — DM latency-hiding effectiveness vs window size, MD=60
+//	Figure 4/5/6 — speedup vs window size for FLO52Q, MDG, TRACK
+//	Figure 7/8/9 — equivalent window ratio vs DM window size
+//	Cutoffs      — MD=0 windows where the SWSM overtakes the DM (C1)
+//	BigWindow    — DM vs SWSM at very large windows, MD=60 (C2)
+//	ESWStudy     — effective-single-window and slippage measurements (C3)
+//	Ablations    — design-choice studies (A1..A5)
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"daesim/internal/engine"
+	"daesim/internal/machine"
+	"daesim/internal/metrics"
+	"daesim/internal/partition"
+	"daesim/internal/sweep"
+	"daesim/internal/workloads"
+)
+
+// Context caches workload suites and runners across experiments.
+type Context struct {
+	// Scale multiplies workload sizes (1 = paper-default calibration).
+	Scale int
+	// Policy is the AU/DU partition policy (default Classic).
+	Policy partition.Policy
+
+	mu      sync.Mutex
+	runners map[string]*sweep.Runner
+}
+
+// NewContext returns a Context at scale 1 with the classic partition.
+func NewContext() *Context {
+	return &Context{Scale: 1, runners: make(map[string]*sweep.Runner)}
+}
+
+// Runner returns the memoizing runner for a workload, building the trace
+// and lowering it on first use.
+func (c *Context) Runner(name string) (*sweep.Runner, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.runners[name]; ok {
+		return r, nil
+	}
+	tr, err := workloads.Build(name, c.Scale)
+	if err != nil {
+		return nil, err
+	}
+	suite, err := machine.NewSuite(tr, c.Policy)
+	if err != nil {
+		return nil, err
+	}
+	r := sweep.NewRunner(suite)
+	c.runners[name] = r
+	return r, nil
+}
+
+// MD values used across the study.
+const (
+	MDZero = 0
+	MDFull = 60 // the paper's headline memory differential
+)
+
+// Table1Windows are the finite DM window sizes reported in Table 1. The
+// paper's column headers are lost to OCR; DESIGN.md §2 documents the
+// choice of powers of two from 8 to 128 plus the unlimited column.
+var Table1Windows = []int{8, 16, 32, 64, 128}
+
+// Table1Row is one program's latency-hiding effectiveness.
+type Table1Row struct {
+	Name string
+	Band workloads.Band
+	// LHE[i] corresponds to Table1Windows[i].
+	LHE []float64
+	// Unlimited is the unlimited-window LHE.
+	Unlimited float64
+}
+
+// Table1Result reproduces Table 1.
+type Table1Result struct {
+	MD      int
+	Windows []int
+	Rows    []Table1Row
+}
+
+// Table1 measures DM latency-hiding effectiveness for all seven programs
+// at MD=60 across window sizes.
+func (c *Context) Table1() (*Table1Result, error) {
+	res := &Table1Result{MD: MDFull, Windows: Table1Windows}
+	for _, spec := range workloads.Catalog() {
+		r, err := c.Runner(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{Name: spec.Name, Band: spec.Band}
+		for _, w := range append(append([]int(nil), Table1Windows...), 0) {
+			actual, err := r.Run(sweep.Point{Kind: machine.DM, P: machine.Params{Window: w, MD: MDFull}})
+			if err != nil {
+				return nil, err
+			}
+			perfect, err := r.Run(sweep.Point{Kind: machine.DM, P: machine.Params{Window: w, MD: MDZero}})
+			if err != nil {
+				return nil, err
+			}
+			lhe := metrics.LHE(perfect.Cycles, actual.Cycles)
+			if w == 0 {
+				row.Unlimited = lhe
+			} else {
+				row.LHE = append(row.LHE, lhe)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// FigureWindows are the window sizes swept in Figures 4-6 (the paper
+// plots 0..100).
+var FigureWindows = sweep.Windows(4, 100, 8)
+
+// FigureResult reproduces one of Figures 4-6: speedup vs window size for
+// the DM and SWSM at MD=0 and MD=60.
+type FigureResult struct {
+	Number   int
+	Workload string
+	// Series order: DM md=0, SWSM md=0, DM md=60, SWSM md=60 (paper's
+	// legend order, with the paper's "ADM" label meaning the DM).
+	Series []sweep.Series
+}
+
+// figureNumber maps workloads to the paper's figure numbering.
+var figureNumber = map[string]int{"FLO52Q": 4, "MDG": 5, "TRACK": 6}
+
+// Figure measures one of Figures 4-6 for the named workload.
+func (c *Context) Figure(name string) (*FigureResult, error) {
+	num, ok := figureNumber[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: %q is not a figure workload (want one of %v)", name, workloads.FigureNames())
+	}
+	r, err := c.Runner(name)
+	if err != nil {
+		return nil, err
+	}
+	res := &FigureResult{Number: num, Workload: name}
+	for _, cfg := range []struct {
+		kind machine.Kind
+		md   int
+	}{
+		{machine.DM, MDZero}, {machine.SWSM, MDZero},
+		{machine.DM, MDFull}, {machine.SWSM, MDFull},
+	} {
+		serial := machine.SerialCycles(r.Suite.Trace, machine.Params{MD: cfg.md}.Timing())
+		s, err := r.WindowSweep(cfg.kind, machine.Params{MD: cfg.md}, FigureWindows,
+			func(_ int, res2 *engine.Result) float64 {
+				return metrics.Speedup(serial, res2.Cycles)
+			})
+		if err != nil {
+			return nil, err
+		}
+		s.Name = fmt.Sprintf("%s md=%d", cfg.kind, cfg.md)
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// RatioWindows and RatioMDs parameterize Figures 7-9.
+var (
+	RatioWindows = sweep.Windows(10, 100, 10)
+	RatioMDs     = []int{0, 10, 20, 30, 40, 50, 60}
+)
+
+// RatioResult reproduces one of Figures 7-9: the equivalent window ratio
+// (SWSM window matching DM performance, over the DM window) as a function
+// of DM window size, one curve per memory differential.
+type RatioResult struct {
+	Number   int
+	Workload string
+	// Series[i] is the curve for RatioMDs[i]; points where the SWSM could
+	// not match the DM within metrics.MaxEquivalentWindow are recorded in
+	// Saturated.
+	Series    []sweep.Series
+	Saturated map[int][]int // md -> DM windows where the search saturated
+}
+
+// ratioFigureNumber maps workloads to the paper's figure numbering.
+var ratioFigureNumber = map[string]int{"FLO52Q": 7, "MDG": 8, "TRACK": 9}
+
+// RatioFigure measures one of Figures 7-9 for the named workload.
+func (c *Context) RatioFigure(name string) (*RatioResult, error) {
+	num, ok := ratioFigureNumber[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: %q is not a ratio-figure workload (want one of %v)", name, workloads.FigureNames())
+	}
+	r, err := c.Runner(name)
+	if err != nil {
+		return nil, err
+	}
+	res := &RatioResult{Number: num, Workload: name, Saturated: map[int][]int{}}
+	for _, md := range RatioMDs {
+		s := sweep.Series{Name: fmt.Sprintf("md=%d", md)}
+		for _, w := range RatioWindows {
+			dm, err := r.Run(sweep.Point{Kind: machine.DM, P: machine.Params{Window: w, MD: md}})
+			if err != nil {
+				return nil, err
+			}
+			// The SWSM search keeps the DM's MemQueue (scaled by the DM
+			// window) so both machines see the same memory subsystem.
+			queue := machine.QueueFactor * w
+			eq, ok, err := metrics.EquivalentWindowFunc(func(sw int) (int64, error) {
+				p := machine.Params{Window: sw, MD: md, MemQueue: queue}
+				rr, err := r.Run(sweep.Point{Kind: machine.SWSM, P: p})
+				if err != nil {
+					return 0, err
+				}
+				return rr.Cycles, nil
+			}, dm.Cycles)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				res.Saturated[md] = append(res.Saturated[md], w)
+				continue
+			}
+			s.X = append(s.X, float64(w))
+			s.Y = append(s.Y, float64(eq)/float64(w))
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// CutoffRow records the MD=0 crossover for one program.
+type CutoffRow struct {
+	Name string
+	// Window is the smallest swept window at which the SWSM matches or
+	// beats the DM; Found is false if none exists in the sweep.
+	Window int
+	Found  bool
+}
+
+// CutoffResult reproduces the text's claim that at MD=0 every program has
+// a cutoff window beyond which the SWSM performs better (C1).
+type CutoffResult struct {
+	Windows []int
+	Rows    []CutoffRow
+}
+
+// Cutoffs locates the MD=0 crossover window for every workload.
+func (c *Context) Cutoffs() (*CutoffResult, error) {
+	windows := sweep.Windows(4, 128, 4)
+	res := &CutoffResult{Windows: windows}
+	for _, spec := range workloads.Catalog() {
+		r, err := c.Runner(spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		row := CutoffRow{Name: spec.Name}
+		for _, w := range windows {
+			dm, err := r.Run(sweep.Point{Kind: machine.DM, P: machine.Params{Window: w, MD: MDZero}})
+			if err != nil {
+				return nil, err
+			}
+			sw, err := r.Run(sweep.Point{Kind: machine.SWSM, P: machine.Params{Window: w, MD: MDZero}})
+			if err != nil {
+				return nil, err
+			}
+			if sw.Cycles <= dm.Cycles {
+				row.Window, row.Found = w, true
+				break
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// BigWindowRow compares the machines at one large window.
+type BigWindowRow struct {
+	Name     string
+	Window   int
+	DMCycles int64
+	SWCycles int64
+}
+
+// BigWindowResult probes the text's claim that at MD=60 the DM stays
+// ahead even for very large (1000-slot) windows (C2).
+type BigWindowResult struct {
+	MD   int
+	Rows []BigWindowRow
+}
+
+// BigWindow compares DM and SWSM at large windows and MD=60.
+func (c *Context) BigWindow() (*BigWindowResult, error) {
+	res := &BigWindowResult{MD: MDFull}
+	for _, name := range workloads.FigureNames() {
+		r, err := c.Runner(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range []int{256, 512, 1000} {
+			dm, err := r.Run(sweep.Point{Kind: machine.DM, P: machine.Params{Window: w, MD: MDFull}})
+			if err != nil {
+				return nil, err
+			}
+			sw, err := r.Run(sweep.Point{Kind: machine.SWSM, P: machine.Params{Window: w, MD: MDFull}})
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, BigWindowRow{Name: name, Window: w, DMCycles: dm.Cycles, SWCycles: sw.Cycles})
+		}
+	}
+	return res, nil
+}
+
+// ESWRow records effective-single-window statistics for one point.
+type ESWRow struct {
+	Name    string
+	Window  int
+	MD      int
+	MaxESW  int64
+	AvgESW  float64
+	MaxSlip int64
+	AvgSlip float64
+}
+
+// ESWResult quantifies the paper's §4 concept: dynamic slippage makes the
+// effective single window larger than the sum of the two windows (C3).
+type ESWResult struct {
+	Rows []ESWRow
+}
+
+// ESWStudy measures ESW and slippage for the figure workloads. It sweeps
+// MD from 10 to 60 (not 0: with a zero differential the decoupled memory
+// never back-pressures the AU, so dispatch-frontier distance degenerates
+// to pure rate imbalance and stops measuring latency-driven slippage).
+func (c *Context) ESWStudy() (*ESWResult, error) {
+	res := &ESWResult{}
+	for _, name := range workloads.FigureNames() {
+		r, err := c.Runner(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range []int{16, 64} {
+			for _, md := range []int{10, 30, MDFull} {
+				p := machine.Params{Window: w, MD: md, CollectESW: true}
+				rr, err := r.Suite.RunDM(p)
+				if err != nil {
+					return nil, err
+				}
+				res.Rows = append(res.Rows, ESWRow{
+					Name: name, Window: w, MD: md,
+					MaxESW: rr.MaxESW, AvgESW: rr.AvgESW,
+					MaxSlip: rr.MaxSlip, AvgSlip: rr.AvgSlip,
+				})
+			}
+		}
+	}
+	return res, nil
+}

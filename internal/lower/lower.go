@@ -1,0 +1,190 @@
+// Package lower translates architecture-neutral traces into machine
+// programs for the two machine models of the paper.
+//
+// Decoupled machine (DM): every load becomes a LoadSend on the AU plus a
+// LoadRecv on each unit that consumes the value; every store becomes a
+// StoreAddr on the AU plus a StoreData on the unit producing the data;
+// values crossing between units are moved by Copy ops executed on the
+// producing unit. Both halves of a memory operation are "one instruction
+// on each of the units", as in the paper.
+//
+// Superscalar machine (SWSM): every memory operation becomes two
+// instructions, a Prefetch that dispatches the address to the memory
+// system as soon as run-time resources allow, and an Access that consumes
+// the value from the prefetch buffer (loads) or commits the store.
+package lower
+
+import (
+	"fmt"
+
+	"daesim/internal/engine"
+	"daesim/internal/isa"
+	"daesim/internal/partition"
+	"daesim/internal/trace"
+)
+
+// DMResult is a lowered decoupled-machine program with lowering metadata.
+type DMResult struct {
+	// Program is the two-unit machine program (unit 0 = AU, unit 1 = DU).
+	Program *engine.Program
+	// CopiesAUDU counts AU→DU register copies.
+	CopiesAUDU int
+	// CopiesDUAU counts DU→AU register copies (loss-of-decoupling events).
+	CopiesDUAU int
+	// Assignment is the partition used.
+	Assignment *partition.Assignment
+}
+
+// DM lowers tr for the decoupled machine under the given partition policy.
+func DM(tr *trace.Trace, pol partition.Policy) (*DMResult, error) {
+	asg, err := partition.Partition(tr, pol)
+	if err != nil {
+		return nil, err
+	}
+	n := tr.Len()
+	res := &DMResult{Assignment: asg}
+	ops := make([]engine.Op, 0, n*2)
+	// avail[u][v] is the machine op producing trace value v on unit u, or
+	// engine.NoDep when the value is not (yet) available there.
+	avail := [2][]int32{make([]int32, n), make([]int32, n)}
+	for u := 0; u < 2; u++ {
+		for i := range avail[u] {
+			avail[u][i] = engine.NoDep
+		}
+	}
+	emit := func(op engine.Op) int32 {
+		ops = append(ops, op)
+		return int32(len(ops) - 1)
+	}
+	// resolve returns the op producing trace value v on unit u, inserting
+	// a copy from the other unit if needed.
+	resolve := func(v int32, u isa.Unit, orig int32) int32 {
+		if got := avail[u][v]; got != engine.NoDep {
+			return got
+		}
+		other := isa.DU
+		if u == isa.DU {
+			other = isa.AU
+		}
+		src := avail[other][v]
+		if src == engine.NoDep {
+			panic(fmt.Sprintf("lower: trace %s: value %d unavailable on both units at %d", tr.Name, v, orig))
+		}
+		cp := emit(engine.Op{Kind: isa.OpCopy, Unit: other, Srcs: []int32{src}, MemSrc: engine.NoDep, Orig: orig})
+		avail[u][v] = cp
+		if other == isa.AU {
+			res.CopiesAUDU++
+		} else {
+			res.CopiesDUAU++
+		}
+		return cp
+	}
+	resolveAll := func(vals []int32, u isa.Unit, orig int32) []int32 {
+		if len(vals) == 0 {
+			return nil
+		}
+		out := make([]int32, len(vals))
+		for i, v := range vals {
+			out[i] = resolve(v, u, orig)
+		}
+		return out
+	}
+
+	for i := range tr.Instrs {
+		in := &tr.Instrs[i]
+		orig := int32(i)
+		switch in.Class {
+		case isa.IntALU, isa.FPALU:
+			u := asg.Unit[i]
+			kind := isa.OpInt
+			if in.Class == isa.FPALU {
+				kind = isa.OpFP
+			}
+			idx := emit(engine.Op{Kind: kind, Unit: u, Srcs: resolveAll(in.Args, u, orig), MemSrc: engine.NoDep, Orig: orig})
+			avail[u][i] = idx
+		case isa.Load:
+			send := emit(engine.Op{
+				Kind: isa.OpLoadSend, Unit: isa.AU,
+				Srcs: resolveAll(in.Addr, isa.AU, orig), MemSrc: engine.NoDep,
+				Addr: in.MemAddr, Orig: orig,
+			})
+			if asg.RecvAU[i] {
+				avail[isa.AU][i] = emit(engine.Op{Kind: isa.OpLoadRecv, Unit: isa.AU, MemSrc: send, Addr: in.MemAddr, Orig: orig})
+			}
+			if asg.RecvDU[i] {
+				avail[isa.DU][i] = emit(engine.Op{Kind: isa.OpLoadRecv, Unit: isa.DU, MemSrc: send, Addr: in.MemAddr, Orig: orig})
+			}
+		case isa.Store:
+			emit(engine.Op{
+				Kind: isa.OpStoreAddr, Unit: isa.AU,
+				Srcs: resolveAll(in.Addr, isa.AU, orig), MemSrc: engine.NoDep,
+				Addr: in.MemAddr, Orig: orig,
+			})
+			data := in.Args[0]
+			// The data half executes on whichever unit already holds the
+			// value, preferring the DU (the paper's data side).
+			du := isa.DU
+			if avail[isa.DU][data] == engine.NoDep {
+				du = isa.AU
+			}
+			emit(engine.Op{
+				Kind: isa.OpStoreData, Unit: du,
+				Srcs: []int32{resolve(data, du, orig)}, MemSrc: engine.NoDep,
+				Addr: in.MemAddr, Orig: orig,
+			})
+		}
+	}
+	p, err := engine.NewProgram(tr.Name+"/dm", ops, 2, n)
+	if err != nil {
+		return nil, err
+	}
+	res.Program = p
+	return res, nil
+}
+
+// SWSM lowers tr for the single-window superscalar machine.
+func SWSM(tr *trace.Trace) (*engine.Program, error) {
+	n := tr.Len()
+	ops := make([]engine.Op, 0, n+n/4)
+	avail := make([]int32, n)
+	for i := range avail {
+		avail[i] = engine.NoDep
+	}
+	resolveAll := func(vals []int32) []int32 {
+		if len(vals) == 0 {
+			return nil
+		}
+		out := make([]int32, len(vals))
+		for i, v := range vals {
+			if avail[v] == engine.NoDep {
+				panic(fmt.Sprintf("lower: trace %s: value %d unavailable", tr.Name, v))
+			}
+			out[i] = avail[v]
+		}
+		return out
+	}
+	emit := func(op engine.Op) int32 {
+		ops = append(ops, op)
+		return int32(len(ops) - 1)
+	}
+	for i := range tr.Instrs {
+		in := &tr.Instrs[i]
+		orig := int32(i)
+		switch in.Class {
+		case isa.IntALU:
+			avail[i] = emit(engine.Op{Kind: isa.OpInt, Unit: isa.AU, Srcs: resolveAll(in.Args), MemSrc: engine.NoDep, Orig: orig})
+		case isa.FPALU:
+			avail[i] = emit(engine.Op{Kind: isa.OpFP, Unit: isa.AU, Srcs: resolveAll(in.Args), MemSrc: engine.NoDep, Orig: orig})
+		case isa.Load:
+			pf := emit(engine.Op{Kind: isa.OpPrefetch, Unit: isa.AU, Srcs: resolveAll(in.Addr), MemSrc: engine.NoDep, Addr: in.MemAddr, Orig: orig})
+			// The access's fill edge subsumes the address dependencies: the
+			// fill cannot arrive before the prefetch issued.
+			avail[i] = emit(engine.Op{Kind: isa.OpAccess, Unit: isa.AU, MemSrc: pf, Addr: in.MemAddr, Orig: orig})
+		case isa.Store:
+			emit(engine.Op{Kind: isa.OpPrefetch, Unit: isa.AU, Srcs: resolveAll(in.Addr), MemSrc: engine.NoDep, Addr: in.MemAddr, Orig: orig})
+			srcs := resolveAll(append(append([]int32(nil), in.Addr...), in.Args...))
+			emit(engine.Op{Kind: isa.OpStoreAcc, Unit: isa.AU, Srcs: srcs, MemSrc: engine.NoDep, Addr: in.MemAddr, Orig: orig})
+		}
+	}
+	return engine.NewProgram(tr.Name+"/swsm", ops, 1, n)
+}

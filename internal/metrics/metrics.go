@@ -1,0 +1,137 @@
+// Package metrics computes the paper's derived measures: speedup over
+// the serial reference, latency-hiding effectiveness (LHE), the
+// equivalent window (the SWSM window matching a DM configuration) and
+// the MD=0 crossover window.
+package metrics
+
+import (
+	"fmt"
+
+	"daesim/internal/machine"
+)
+
+// Speedup returns serial/actual; zero actual yields zero.
+func Speedup(serial, actual int64) float64 {
+	if actual == 0 {
+		return 0
+	}
+	return float64(serial) / float64(actual)
+}
+
+// LHE returns the latency-hiding effectiveness T_perfect/T_actual, where
+// T_perfect is the execution time when every memory access perceives a
+// single-cycle latency (Jones & Topham, §5). Perfect hiding gives 1.
+func LHE(perfect, actual int64) float64 {
+	if actual == 0 {
+		return 0
+	}
+	return float64(perfect) / float64(actual)
+}
+
+// MaxEquivalentWindow bounds the equivalent-window search. The paper
+// examines SWSM windows up to 1000 slots; the search allows a deeper
+// sweep so ratios near the top of Figures 7-9 resolve.
+const MaxEquivalentWindow = 8192
+
+// RunFunc reports the execution time at a given window size.
+type RunFunc func(window int) (int64, error)
+
+// EquivalentWindowFunc returns the smallest window at which run's time is
+// at most target cycles, exploiting monotonicity of time in window size.
+// ok is false if even MaxEquivalentWindow cannot reach the target.
+func EquivalentWindowFunc(run RunFunc, target int64) (window int, ok bool, err error) {
+	// Exponential probe for an upper bound.
+	lo, hi := 1, 1
+	for {
+		c, err := run(hi)
+		if err != nil {
+			return 0, false, err
+		}
+		if c <= target {
+			break
+		}
+		lo = hi + 1
+		hi *= 2
+		if hi > MaxEquivalentWindow {
+			c, err := run(MaxEquivalentWindow)
+			if err != nil {
+				return 0, false, err
+			}
+			if c > target {
+				return MaxEquivalentWindow, false, nil
+			}
+			hi = MaxEquivalentWindow
+			break
+		}
+	}
+	// Binary search in (lo-1, hi].
+	for lo < hi {
+		mid := (lo + hi) / 2
+		c, err := run(mid)
+		if err != nil {
+			return 0, false, err
+		}
+		if c <= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi, true, nil
+}
+
+// EquivalentWindow is EquivalentWindowFunc against the suite's SWSM with
+// parameters p (p.Window is ignored).
+func EquivalentWindow(s *machine.Suite, p machine.Params, target int64) (window int, ok bool, err error) {
+	return EquivalentWindowFunc(func(w int) (int64, error) {
+		q := p
+		q.Window = w
+		r, err := s.RunSWSM(q)
+		if err != nil {
+			return 0, err
+		}
+		return r.Cycles, nil
+	}, target)
+}
+
+// EquivalentWindowRatio runs the DM at p and returns the ratio of the
+// equivalent SWSM window to the DM (per-unit) window — the quantity of
+// Figures 7-9. ok is false when the SWSM cannot match the DM within
+// MaxEquivalentWindow.
+func EquivalentWindowRatio(s *machine.Suite, p machine.Params) (ratio float64, ok bool, err error) {
+	if p.Window <= 0 {
+		return 0, false, fmt.Errorf("metrics: equivalent window ratio needs a finite DM window")
+	}
+	dm, err := s.RunDM(p)
+	if err != nil {
+		return 0, false, err
+	}
+	w, ok, err := EquivalentWindow(s, p, dm.Cycles)
+	if err != nil {
+		return 0, false, err
+	}
+	return float64(w) / float64(p.Window), ok, nil
+}
+
+// Crossover returns the smallest window in windows (ascending) at which
+// the SWSM is at least as fast as the DM with the same per-unit window,
+// and ok=false if no such window exists in the sweep. This locates the
+// paper's MD=0 cutoff points.
+func Crossover(s *machine.Suite, p machine.Params, windows []int) (window int, ok bool, err error) {
+	for _, w := range windows {
+		q := p
+		q.Window = w
+		dm, err := s.RunDM(q)
+		if err != nil {
+			return 0, false, err
+		}
+		sw, err := s.RunSWSM(q)
+		if err != nil {
+			return 0, false, err
+		}
+		if sw.Cycles <= dm.Cycles {
+			return w, true, nil
+		}
+	}
+	return 0, false, nil
+}

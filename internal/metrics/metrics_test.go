@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"daesim/internal/kernel"
+	"daesim/internal/machine"
+	"daesim/internal/partition"
+)
+
+func TestSpeedupAndLHE(t *testing.T) {
+	if Speedup(100, 20) != 5.0 {
+		t.Fatal("speedup wrong")
+	}
+	if Speedup(100, 0) != 0 {
+		t.Fatal("zero actual should yield zero")
+	}
+	if LHE(80, 100) != 0.8 {
+		t.Fatal("LHE wrong")
+	}
+	if LHE(80, 0) != 0 {
+		t.Fatal("zero actual should yield zero")
+	}
+}
+
+// fakeMonotone builds a RunFunc from a step function: time = hi below the
+// threshold window, lo at or above it.
+func fakeMonotone(threshold int, hi, lo int64) RunFunc {
+	return func(w int) (int64, error) {
+		if w >= threshold {
+			return lo, nil
+		}
+		return hi, nil
+	}
+}
+
+func TestEquivalentWindowFuncFindsThreshold(t *testing.T) {
+	f := func(th uint16) bool {
+		threshold := int(th%2000) + 1
+		run := fakeMonotone(threshold, 100, 10)
+		w, ok, err := EquivalentWindowFunc(run, 50)
+		return err == nil && ok && w == threshold
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEquivalentWindowFuncSaturates(t *testing.T) {
+	run := func(w int) (int64, error) { return 1000, nil }
+	w, ok, err := EquivalentWindowFunc(run, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("unreachable target should report !ok")
+	}
+	if w != MaxEquivalentWindow {
+		t.Fatalf("saturated search should report the cap, got %d", w)
+	}
+}
+
+func TestEquivalentWindowFuncImmediate(t *testing.T) {
+	// Window 1 already meets the target.
+	run := fakeMonotone(1, 99, 10)
+	w, ok, err := EquivalentWindowFunc(run, 50)
+	if err != nil || !ok || w != 1 {
+		t.Fatalf("got w=%d ok=%v err=%v, want 1 true nil", w, ok, err)
+	}
+}
+
+func TestEquivalentWindowFuncPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	run := func(w int) (int64, error) { return 0, boom }
+	if _, _, err := EquivalentWindowFunc(run, 10); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func smallSuite(t *testing.T) *machine.Suite {
+	t.Helper()
+	b := kernel.New("metrics")
+	arr := b.Array("a", 256, 8)
+	for i := 0; i < 48; i++ {
+		base := b.Int()
+		v := b.Load(arr, i, base)
+		f := b.FPChain(2, v)
+		b.Store(arr, 128+i, f, base)
+	}
+	s, err := machine.NewSuite(b.MustTrace(), partition.Classic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEquivalentWindowAgainstSuite(t *testing.T) {
+	s := smallSuite(t)
+	dm, err := s.RunDM(machine.Params{Window: 12, MD: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok, err := EquivalentWindow(s, machine.Params{MD: 40, MemQueue: 24}, dm.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("search saturated on a tiny kernel")
+	}
+	// Verify minimality: w matches, w-1 does not.
+	check := func(win int) int64 {
+		r, err := s.RunSWSM(machine.Params{Window: win, MD: 40, MemQueue: 24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Cycles
+	}
+	if check(w) > dm.Cycles {
+		t.Fatalf("window %d does not meet the target", w)
+	}
+	if w > 1 && check(w-1) <= dm.Cycles {
+		t.Fatalf("window %d is not minimal", w)
+	}
+}
+
+func TestEquivalentWindowRatioNeedsFiniteWindow(t *testing.T) {
+	s := smallSuite(t)
+	if _, _, err := EquivalentWindowRatio(s, machine.Params{Window: 0, MD: 40}); err == nil {
+		t.Fatal("unlimited DM window accepted")
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	s := smallSuite(t)
+	windows := []int{2, 4, 8, 16, 32, 64, 128}
+	w, ok, err := Crossover(s, machine.Params{MD: 0}, windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Skip("no crossover on this kernel; covered by experiments tests")
+	}
+	if w < 2 || w > 128 {
+		t.Fatalf("crossover %d outside sweep", w)
+	}
+}

@@ -1,0 +1,222 @@
+// Package partition splits a trace between the address unit (AU) and the
+// data unit (DU) of the decoupled machine.
+//
+// The static partition follows the classic decoupled access/execute
+// discipline: the AU owns address computation and memory access, the DU
+// owns data computation. Concretely, the backward slice of every memory
+// address (propagated through integer ops and loads, stopping at FP ops)
+// is marked as the address slice. Floating-point ops always execute on
+// the DU. Loads are sent by the AU; their values are delivered by the
+// decoupled memory to whichever units consume them (a delivery to the AU
+// is a self-load, e.g. an index load feeding later addresses).
+//
+// Values crossing between units travel through explicit copy operations
+// executed by the producing unit. A DU→AU copy is a loss-of-decoupling
+// hazard: the AU must wait for data computation before it can continue
+// generating addresses.
+//
+// Three placement policies are provided for integer ops outside the
+// address slice (pure data bookkeeping): Classic sends them to the AU
+// (all-integer AU, as in classic DAE machines), SliceOnly sends them to
+// the DU (minimal AU), and Balance assigns each to the unit with fewer
+// ops so far. The paper's machine corresponds to Classic.
+package partition
+
+import (
+	"fmt"
+
+	"daesim/internal/isa"
+	"daesim/internal/trace"
+)
+
+// Policy selects the placement of integer ops outside the address slice.
+type Policy uint8
+
+const (
+	// Classic places all integer computation on the AU.
+	Classic Policy = iota
+	// SliceOnly places only the address slice on the AU.
+	SliceOnly
+	// Balance greedily balances non-slice integer ops between units.
+	Balance
+	numPolicies
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Classic:
+		return "classic"
+	case SliceOnly:
+		return "slice-only"
+	case Balance:
+		return "balance"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// Policies lists all placement policies.
+func Policies() []Policy { return []Policy{Classic, SliceOnly, Balance} }
+
+// Assignment is the result of partitioning a trace.
+type Assignment struct {
+	// Unit is the executing unit per trace instruction: for Int/FP ops the
+	// unit that computes the value; for loads and stores, AU (the unit
+	// that initiates the access).
+	Unit []isa.Unit
+	// InAddrSlice marks instructions in the backward slice of a memory
+	// address.
+	InAddrSlice []bool
+	// RecvAU/RecvDU mark loads whose value must be delivered to the AU
+	// (self-load) and/or the DU.
+	RecvAU, RecvDU []bool
+	// Counts per unit of value-computing instructions (loads counted on
+	// each receiving unit).
+	OpsAU, OpsDU int
+	// SelfLoads counts loads delivered to the AU.
+	SelfLoads int
+}
+
+// Partition computes the AU/DU assignment of tr under the given policy.
+// The trace must be valid.
+func Partition(tr *trace.Trace, pol Policy) (*Assignment, error) {
+	if pol >= numPolicies {
+		return nil, fmt.Errorf("partition: unknown policy %d", pol)
+	}
+	n := tr.Len()
+	a := &Assignment{
+		Unit:        make([]isa.Unit, n),
+		InAddrSlice: make([]bool, n),
+		RecvAU:      make([]bool, n),
+		RecvDU:      make([]bool, n),
+	}
+
+	// Mark the address slice: seed with address operands of memory ops,
+	// propagate backwards through integer ops and loads. FP ops terminate
+	// propagation (they stay on the DU; their value crosses by copy).
+	work := make([]int32, 0, n/4)
+	mark := func(i int32) {
+		if !a.InAddrSlice[i] && tr.Instrs[i].Class != isa.FPALU {
+			a.InAddrSlice[i] = true
+			work = append(work, i)
+		}
+	}
+	for i := range tr.Instrs {
+		for _, p := range tr.Instrs[i].Addr {
+			mark(p)
+		}
+	}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := &tr.Instrs[i]
+		if in.Class == isa.Load {
+			// The load's value feeds addresses; its inputs are already
+			// addresses by construction (they are Addr operands).
+			continue
+		}
+		for _, p := range in.Args {
+			mark(p)
+		}
+	}
+
+	// Assign units.
+	for i := range tr.Instrs {
+		in := &tr.Instrs[i]
+		switch in.Class {
+		case isa.FPALU:
+			a.Unit[i] = isa.DU
+			a.OpsDU++
+		case isa.Load, isa.Store:
+			a.Unit[i] = isa.AU
+		case isa.IntALU:
+			switch {
+			case a.InAddrSlice[i]:
+				a.Unit[i] = isa.AU
+				a.OpsAU++
+			case pol == Classic:
+				a.Unit[i] = isa.AU
+				a.OpsAU++
+			case pol == SliceOnly:
+				a.Unit[i] = isa.DU
+				a.OpsDU++
+			default: // Balance
+				if a.OpsAU <= a.OpsDU {
+					a.Unit[i] = isa.AU
+					a.OpsAU++
+				} else {
+					a.Unit[i] = isa.DU
+					a.OpsDU++
+				}
+			}
+		}
+	}
+
+	// Route load deliveries to consuming units.
+	for i := range tr.Instrs {
+		in := &tr.Instrs[i]
+		route := func(p int32) {
+			if tr.Instrs[p].Class != isa.Load {
+				return
+			}
+			if a.Unit[i] == isa.AU || in.Class == isa.Load || in.Class == isa.Store {
+				// Address operands and AU consumers need the value on the AU.
+				a.RecvAU[p] = true
+			} else {
+				a.RecvDU[p] = true
+			}
+		}
+		for _, p := range in.Addr {
+			route(p)
+		}
+		for _, p := range in.Args {
+			// Store data goes to the store-data op, which executes on the
+			// producing unit; delivery is decided by the producer's unit,
+			// handled in lowering. For value consumers, deliver to the
+			// consumer's unit.
+			if in.Class == isa.Store {
+				if tr.Instrs[p].Class == isa.Load {
+					// Load feeding a store directly: deliver on the DU (data
+					// side) — a pure memory-to-memory copy.
+					a.RecvDU[p] = true
+				}
+				continue
+			}
+			route(p)
+		}
+	}
+	for i := range tr.Instrs {
+		if tr.Instrs[i].Class == isa.Load {
+			if !a.RecvAU[i] && !a.RecvDU[i] {
+				// Dead load: deliver to the DU by convention.
+				a.RecvDU[i] = true
+			}
+			if a.RecvAU[i] {
+				a.SelfLoads++
+				a.OpsAU++
+			}
+			if a.RecvDU[i] {
+				a.OpsDU++
+			}
+		}
+	}
+	return a, nil
+}
+
+// Stats summarizes an assignment for reporting.
+type Stats struct {
+	AUOps, DUOps int
+	SelfLoads    int
+	SliceSize    int
+}
+
+// Stats computes summary statistics for the assignment.
+func (a *Assignment) Stats() Stats {
+	s := Stats{AUOps: a.OpsAU, DUOps: a.OpsDU, SelfLoads: a.SelfLoads}
+	for _, in := range a.InAddrSlice {
+		if in {
+			s.SliceSize++
+		}
+	}
+	return s
+}

@@ -1,0 +1,223 @@
+// Package plot renders experiment output: ASCII line charts for the
+// paper's figures, aligned text tables, and gnuplot-compatible data files
+// so results can be re-plotted with external tools.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one curve: paired x/y samples and a legend name.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers distinguish overlapping curves in ASCII charts.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Chart renders series as an ASCII line chart.
+type Chart struct {
+	// Title is printed above the chart.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// Width and Height are the plot-area dimensions in characters
+	// (defaults 72x24).
+	Width, Height int
+	// Series holds the curves.
+	Series []Series
+}
+
+// Render writes the chart to w.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 24
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := 0.0, math.Inf(-1) // anchor y at zero like the paper's figures
+	for _, s := range c.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymax = math.Max(ymax, s.Y[i])
+			ymin = math.Min(ymin, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return fmt.Errorf("plot: chart %q has no data", c.Title)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	toCol := func(x float64) int {
+		col := int((x - xmin) / (xmax - xmin) * float64(width-1))
+		return clamp(col, 0, width-1)
+	}
+	toRow := func(y float64) int {
+		row := int((y - ymin) / (ymax - ymin) * float64(height-1))
+		return clamp(height-1-row, 0, height-1)
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		// Draw line segments between consecutive samples.
+		for i := 0; i+1 < len(s.X); i++ {
+			drawSegment(grid, toCol(s.X[i]), toRow(s.Y[i]), toCol(s.X[i+1]), toRow(s.Y[i+1]), m)
+		}
+		if len(s.X) == 1 {
+			grid[toRow(s.Y[0])][toCol(s.X[0])] = m
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", c.YLabel)
+	}
+	for i, row := range grid {
+		var label string
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.1f", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%8.1f", ymin)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-10.0f%s%10.0f\n", strings.Repeat(" ", 8), xmin,
+		center(c.XLabel, width-20), xmax)
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%s   %c  %s\n", strings.Repeat(" ", 8), markers[si%len(markers)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func center(s string, width int) string {
+	if width < len(s) {
+		return s
+	}
+	left := (width - len(s)) / 2
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", width-left-len(s))
+}
+
+// drawSegment rasterizes a line segment with Bresenham's algorithm.
+func drawSegment(grid [][]byte, x0, y0, x1, y1 int, m byte) {
+	dx, dy := abs(x1-x0), -abs(y1-y0)
+	sx, sy := 1, 1
+	if x0 >= x1 {
+		sx = -1
+	}
+	if y0 >= y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		grid[y0][x0] = m
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Table renders aligned rows of cells. The first row is the header.
+type Table struct {
+	Title string
+	Rows  [][]string
+}
+
+// Render writes the table to w with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := map[int]int{}
+	for _, row := range t.Rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	for ri, row := range t.Rows {
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[c], cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for c := range row {
+				if c > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", widths[c]))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteDat writes series as a gnuplot-compatible data file: a commented
+// header, then one block per series separated by blank lines.
+func WriteDat(w io.Writer, title string, series []Series) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	for _, s := range series {
+		fmt.Fprintf(&b, "# series: %s\n", s.Name)
+		for i := range s.X {
+			fmt.Fprintf(&b, "%g\t%g\n", s.X[i], s.Y[i])
+		}
+		b.WriteString("\n\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

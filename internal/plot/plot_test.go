@@ -1,0 +1,117 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoSeries() []Series {
+	return []Series{
+		{Name: "rising", X: []float64{0, 50, 100}, Y: []float64{0, 5, 10}},
+		{Name: "flat", X: []float64{0, 50, 100}, Y: []float64{4, 4, 4}},
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	var b strings.Builder
+	ch := Chart{
+		Title: "test chart", XLabel: "Window", YLabel: "Speedup",
+		Width: 40, Height: 10, Series: twoSeries(),
+	}
+	if err := ch.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"test chart", "Speedup", "Window", "rising", "flat", "10.0", "0.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Both markers must appear in the plot area.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("chart missing series markers:\n%s", out)
+	}
+	// The rising series should have its marker in the top-right region.
+	lines := strings.Split(out, "\n")
+	top := lines[2] // first grid row
+	if !strings.Contains(top, "*") {
+		t.Errorf("rising series should reach the top row: %q", top)
+	}
+}
+
+func TestChartEmptyFails(t *testing.T) {
+	var b strings.Builder
+	ch := Chart{Title: "empty"}
+	if err := ch.Render(&b); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	var b strings.Builder
+	ch := Chart{Series: []Series{{Name: "dot", X: []float64{5}, Y: []float64{5}}}}
+	if err := ch.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "*") {
+		t.Fatal("single point not drawn")
+	}
+}
+
+func TestChartDefaultsAndClamping(t *testing.T) {
+	var b strings.Builder
+	// Negative values force y-min below zero and exercise clamping.
+	ch := Chart{Series: []Series{{Name: "neg", X: []float64{0, 1}, Y: []float64{-5, 5}}}}
+	if err := ch.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "-5.0") {
+		t.Errorf("negative minimum not labelled:\n%s", b.String())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	var b strings.Builder
+	tbl := Table{
+		Title: "t",
+		Rows: [][]string{
+			{"name", "value"},
+			{"alpha", "1"},
+			{"beta-long", "22"},
+		},
+	}
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("missing header rule: %q", lines[2])
+	}
+	// Columns align: "value" starts at the same offset in each row.
+	off := strings.Index(lines[1], "value")
+	if !strings.HasPrefix(lines[3][off:], "1") {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+}
+
+func TestWriteDat(t *testing.T) {
+	var b strings.Builder
+	if err := WriteDat(&b, "my data", twoSeries()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# my data") || !strings.Contains(out, "# series: rising") {
+		t.Fatalf("missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "50\t5") {
+		t.Fatalf("missing data point:\n%s", out)
+	}
+	// Two blocks separated by blank lines for gnuplot's index handling.
+	if strings.Count(out, "\n\n\n") < 1 {
+		t.Fatalf("series blocks not separated:\n%q", out)
+	}
+}

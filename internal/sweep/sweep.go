@@ -1,0 +1,153 @@
+// Package sweep runs families of simulations in parallel with
+// memoization. Experiment drivers describe points (machine, window, MD);
+// the runner executes them across CPUs and caches results so overlapping
+// sweeps (e.g. a speedup figure and a crossover search over the same
+// windows) do not re-simulate.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"daesim/internal/engine"
+	"daesim/internal/machine"
+)
+
+// Point identifies one simulation: a machine kind plus parameters.
+type Point struct {
+	Kind machine.Kind
+	P    machine.Params
+}
+
+// key is the memoization key. Custom memory models are not memoizable, so
+// points carrying Mem bypass the cache.
+type key struct {
+	kind machine.Kind
+	p    machine.Params
+}
+
+// Runner executes points against one suite.
+type Runner struct {
+	Suite *machine.Suite
+	// Parallelism bounds concurrent simulations (default: GOMAXPROCS).
+	Parallelism int
+
+	mu    sync.Mutex
+	cache map[key]*engine.Result
+}
+
+// NewRunner returns a Runner for the suite.
+func NewRunner(s *machine.Suite) *Runner {
+	return &Runner{Suite: s, cache: make(map[key]*engine.Result)}
+}
+
+// Run executes one point, consulting the cache.
+func (r *Runner) Run(pt Point) (*engine.Result, error) {
+	cacheable := pt.P.Mem == nil
+	var k key
+	if cacheable {
+		k = key{kind: pt.Kind, p: pt.P}
+		r.mu.Lock()
+		if res, ok := r.cache[k]; ok {
+			r.mu.Unlock()
+			return res, nil
+		}
+		r.mu.Unlock()
+	}
+	res, err := r.Suite.Run(pt.Kind, pt.P)
+	if err != nil {
+		return nil, err
+	}
+	if cacheable {
+		r.mu.Lock()
+		r.cache[k] = res
+		r.mu.Unlock()
+	}
+	return res, nil
+}
+
+// RunAll executes all points, in parallel, preserving order. The first
+// error aborts the sweep.
+func (r *Runner) RunAll(pts []Point) ([]*engine.Result, error) {
+	par := r.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(pts) {
+		par = len(pts)
+	}
+	if par <= 1 {
+		out := make([]*engine.Result, len(pts))
+		for i, pt := range pts {
+			res, err := r.Run(pt)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: point %d: %w", i, err)
+			}
+			out[i] = res
+		}
+		return out, nil
+	}
+	out := make([]*engine.Result, len(pts))
+	errs := make([]error, len(pts))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				res, err := r.Run(pts[i])
+				out[i], errs[i] = res, err
+			}
+		}()
+	}
+	for i := range pts {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: point %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Series is a named sequence of (x, y) samples, one curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// WindowSweep runs the machine at each window size and maps results
+// through f (e.g. a speedup or LHE computation).
+func (r *Runner) WindowSweep(kind machine.Kind, base machine.Params, windows []int, f func(w int, res *engine.Result) float64) (Series, error) {
+	pts := make([]Point, len(windows))
+	for i, w := range windows {
+		p := base
+		p.Window = w
+		pts[i] = Point{Kind: kind, P: p}
+	}
+	results, err := r.RunAll(pts)
+	if err != nil {
+		return Series{}, err
+	}
+	s := Series{X: make([]float64, len(windows)), Y: make([]float64, len(windows))}
+	for i, res := range results {
+		s.X[i] = float64(windows[i])
+		s.Y[i] = f(windows[i], res)
+	}
+	return s, nil
+}
+
+// Windows returns n window sizes from lo to hi inclusive, evenly spaced.
+func Windows(lo, hi, step int) []int {
+	var out []int
+	for w := lo; w <= hi; w += step {
+		out = append(out, w)
+	}
+	return out
+}

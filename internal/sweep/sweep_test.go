@@ -1,0 +1,128 @@
+package sweep
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"daesim/internal/engine"
+	"daesim/internal/kernel"
+	"daesim/internal/machine"
+	"daesim/internal/partition"
+)
+
+func testRunner(t *testing.T) *Runner {
+	t.Helper()
+	b := kernel.New("sweep")
+	arr := b.Array("a", 128, 8)
+	for i := 0; i < 32; i++ {
+		base := b.Int()
+		v := b.Load(arr, i, base)
+		b.Store(arr, 64+i, b.FP(v), base)
+	}
+	s, err := machine.NewSuite(b.MustTrace(), partition.Classic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRunner(s)
+}
+
+func TestRunCaches(t *testing.T) {
+	r := testRunner(t)
+	pt := Point{Kind: machine.DM, P: machine.Params{Window: 8, MD: 30}}
+	a, err := r.Run(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical points should return the cached result")
+	}
+}
+
+func TestCustomMemBypassesCache(t *testing.T) {
+	r := testRunner(t)
+	var calls atomic.Int64
+	mem := &countingMem{calls: &calls}
+	pt := Point{Kind: machine.DM, P: machine.Params{Window: 8, MD: 30, Mem: mem}}
+	if _, err := r.Run(pt); err != nil {
+		t.Fatal(err)
+	}
+	first := calls.Load()
+	if _, err := r.Run(pt); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2*first {
+		t.Fatal("points with custom memory models must not be cached")
+	}
+}
+
+type countingMem struct{ calls *atomic.Int64 }
+
+func (m *countingMem) RequestFill(addr uint64, sent int64) int64 { return sent + 5 }
+func (m *countingMem) Consume(addr uint64, cycle int64)          {}
+func (m *countingMem) Reset()                                    { m.calls.Add(1) }
+
+var _ engine.MemModel = (*countingMem)(nil)
+
+func TestRunAllOrderAndParallel(t *testing.T) {
+	r := testRunner(t)
+	var pts []Point
+	for _, w := range []int{2, 4, 8, 16, 32} {
+		pts = append(pts, Point{Kind: machine.DM, P: machine.Params{Window: w, MD: 30}})
+	}
+	results, err := r.RunAll(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(pts) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Cycles > results[i-1].Cycles {
+			// Small scheduling anomalies are possible but not on this
+			// trivially regular kernel.
+			t.Errorf("results out of order or nonmonotone: %d then %d", results[i-1].Cycles, results[i].Cycles)
+		}
+	}
+	// Serial path must agree with the parallel path.
+	r2 := testRunner(t)
+	r2.Parallelism = 1
+	serial, err := r2.RunAll(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i].Cycles != results[i].Cycles {
+			t.Fatalf("parallel/serial divergence at %d: %d vs %d", i, results[i].Cycles, serial[i].Cycles)
+		}
+	}
+}
+
+func TestWindowSweep(t *testing.T) {
+	r := testRunner(t)
+	windows := []int{4, 8, 16}
+	s, err := r.WindowSweep(machine.SWSM, machine.Params{MD: 20}, windows,
+		func(w int, res *engine.Result) float64 { return float64(res.Cycles) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.X) != 3 || s.X[0] != 4 || s.X[2] != 16 {
+		t.Fatalf("x values wrong: %v", s.X)
+	}
+	if s.Y[0] < s.Y[2] {
+		t.Fatalf("cycles should not grow with window: %v", s.Y)
+	}
+}
+
+func TestWindows(t *testing.T) {
+	w := Windows(10, 50, 10)
+	if len(w) != 5 || w[0] != 10 || w[4] != 50 {
+		t.Fatalf("Windows wrong: %v", w)
+	}
+	if got := Windows(5, 4, 1); got != nil {
+		t.Fatalf("empty range should be nil: %v", got)
+	}
+}

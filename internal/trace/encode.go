@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"daesim/internal/isa"
+)
+
+// Binary trace format:
+//
+//	magic "DAET" | u32 version | u16 name length | name bytes |
+//	u32 instruction count | per instruction:
+//	    u8 class | u8 nAddr | u8 nArgs | varint addr refs | varint arg refs |
+//	    uvarint memAddr (memory classes only)
+//
+// Operand references are delta-encoded against the instruction index so
+// that tight loops compress well.
+
+const (
+	magic   = "DAET"
+	version = 1
+)
+
+var errBadMagic = errors.New("trace: bad magic")
+
+// Write encodes t to w in the binary trace format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	put32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	if err := put32(version); err != nil {
+		return err
+	}
+	if len(t.Name) > 0xffff {
+		return fmt.Errorf("trace: name too long (%d bytes)", len(t.Name))
+	}
+	binary.LittleEndian.PutUint16(scratch[:2], uint16(len(t.Name)))
+	if _, err := bw.Write(scratch[:2]); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	if err := put32(uint32(len(t.Instrs))); err != nil {
+		return err
+	}
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	for i := range t.Instrs {
+		in := &t.Instrs[i]
+		if len(in.Addr) > 0xff || len(in.Args) > 0xff {
+			return fmt.Errorf("trace: instr %d has too many operands", i)
+		}
+		hdr := [3]byte{byte(in.Class), byte(len(in.Addr)), byte(len(in.Args))}
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		for _, ref := range append(append([]int32(nil), in.Addr...), in.Args...) {
+			// Delta against own index; always positive for valid traces.
+			if err := putUvarint(uint64(int64(i) - int64(ref))); err != nil {
+				return err
+			}
+		}
+		if in.Class == isa.Load || in.Class == isa.Store {
+			if err := putUvarint(in.MemAddr); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	if string(hdr[:]) != magic {
+		return nil, errBadMagic
+	}
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	if v := binary.LittleEndian.Uint32(hdr[:]); v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	if _, err := io.ReadFull(br, hdr[:2]); err != nil {
+		return nil, err
+	}
+	name := make([]byte, binary.LittleEndian.Uint16(hdr[:2]))
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	t := &Trace{Name: string(name), Instrs: make([]Instr, n)}
+	for i := range t.Instrs {
+		var h [3]byte
+		if _, err := io.ReadFull(br, h[:]); err != nil {
+			return nil, err
+		}
+		in := &t.Instrs[i]
+		in.Class = isa.Class(h[0])
+		nAddr, nArgs := int(h[1]), int(h[2])
+		readRefs := func(n int) ([]int32, error) {
+			if n == 0 {
+				return nil, nil
+			}
+			refs := make([]int32, n)
+			for j := range refs {
+				d, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, err
+				}
+				refs[j] = int32(int64(i) - int64(d))
+			}
+			return refs, nil
+		}
+		var err error
+		if in.Addr, err = readRefs(nAddr); err != nil {
+			return nil, err
+		}
+		if in.Args, err = readRefs(nArgs); err != nil {
+			return nil, err
+		}
+		if in.Class == isa.Load || in.Class == isa.Store {
+			if in.MemAddr, err = binary.ReadUvarint(br); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: decoded trace invalid: %w", err)
+	}
+	return t, nil
+}
+
+// Dump writes a human-readable listing of up to max instructions to w
+// (max <= 0 dumps everything).
+func Dump(w io.Writer, t *Trace, max int) error {
+	if max <= 0 || max > len(t.Instrs) {
+		max = len(t.Instrs)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# trace %s: %d instructions (showing %d)\n", t.Name, len(t.Instrs), max)
+	for i := 0; i < max; i++ {
+		in := &t.Instrs[i]
+		fmt.Fprintf(bw, "%7d  %-6s", i, in.Class)
+		if len(in.Addr) > 0 {
+			fmt.Fprintf(bw, " addr=%v", in.Addr)
+		}
+		if len(in.Args) > 0 {
+			fmt.Fprintf(bw, " args=%v", in.Args)
+		}
+		if in.Class == isa.Load || in.Class == isa.Store {
+			fmt.Fprintf(bw, " @%#x", in.MemAddr)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,267 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"daesim/internal/isa"
+)
+
+// chainTrace builds: int; load(addr=int); fp(load); store(fp, addr=int).
+func chainTrace() *Trace {
+	return &Trace{Name: "chain", Instrs: []Instr{
+		{Class: isa.IntALU},
+		{Class: isa.Load, Addr: []int32{0}, MemAddr: 0x100},
+		{Class: isa.FPALU, Args: []int32{1}},
+		{Class: isa.Store, Addr: []int32{0}, Args: []int32{2}, MemAddr: 0x200},
+	}}
+}
+
+func TestValidateAcceptsChain(t *testing.T) {
+	if err := chainTrace().Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   *Trace
+		want string
+	}{
+		{"bad class", &Trace{Instrs: []Instr{{Class: isa.Class(99)}}}, "invalid class"},
+		{"forward ref", &Trace{Instrs: []Instr{{Class: isa.IntALU, Args: []int32{0}}}}, "strictly backwards"},
+		{"future ref", &Trace{Instrs: []Instr{{Class: isa.IntALU}, {Class: isa.IntALU, Args: []int32{5}}}}, "strictly backwards"},
+		{"addr on alu", &Trace{Instrs: []Instr{{Class: isa.IntALU}, {Class: isa.FPALU, Addr: []int32{0}}}}, "non-memory"},
+		{"load with args", &Trace{Instrs: []Instr{{Class: isa.IntALU}, {Class: isa.Load, Addr: []int32{0}, Args: []int32{0}}}}, "value operands"},
+		{"store no data", &Trace{Instrs: []Instr{{Class: isa.IntALU}, {Class: isa.Store, Addr: []int32{0}}}}, "exactly one data"},
+		{"store as producer", &Trace{Instrs: []Instr{
+			{Class: isa.IntALU},
+			{Class: isa.Store, Addr: []int32{0}, Args: []int32{0}},
+			{Class: isa.IntALU, Args: []int32{1}},
+		}}, "stores produce no value"},
+	}
+	for _, tc := range cases {
+		err := tc.tr.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := chainTrace().Stats()
+	if s.Total != 4 || s.ByClass[isa.IntALU] != 1 || s.ByClass[isa.FPALU] != 1 ||
+		s.ByClass[isa.Load] != 1 || s.ByClass[isa.Store] != 1 {
+		t.Fatalf("bad stats: %+v", s)
+	}
+	if s.MemRefs != 2 || s.MemFrac != 0.5 {
+		t.Fatalf("mem stats wrong: %+v", s)
+	}
+	// operands: load 1, fp 1, store 2 => 4/4 = 1.0
+	if s.AvgInDeg != 1.0 {
+		t.Fatalf("AvgInDeg = %v, want 1.0", s.AvgInDeg)
+	}
+	if !strings.Contains(s.String(), "total=4") {
+		t.Errorf("Stats.String missing total: %s", s)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	tr := chainTrace()
+	tm := isa.Timing{MD: 10, FPLat: 3, CopyLat: 1}
+	// int(1) -> load(10+2) -> fp(3) -> store(1) = 17
+	if got := tr.CriticalPath(tm); got != 17 {
+		t.Fatalf("critical path = %d, want 17", got)
+	}
+	tm.MD = 0
+	// 1 + 2 + 3 + 1 = 7
+	if got := tr.CriticalPath(tm); got != 7 {
+		t.Fatalf("critical path md=0 = %d, want 7", got)
+	}
+	empty := &Trace{}
+	if empty.CriticalPath(tm) != 0 {
+		t.Error("empty trace should have zero critical path")
+	}
+}
+
+func TestCriticalPathMonotoneInMD(t *testing.T) {
+	tr := chainTrace()
+	prev := int64(-1)
+	for md := 0; md <= 60; md += 10 {
+		cp := tr.CriticalPath(isa.Timing{MD: md, FPLat: 3, CopyLat: 1})
+		if cp < prev {
+			t.Fatalf("critical path decreased at md=%d: %d < %d", md, cp, prev)
+		}
+		prev = cp
+	}
+}
+
+func TestILPProfile(t *testing.T) {
+	// Two independent chains of length 2 => levels: 2 at depth 0, 2 at depth 1.
+	tr := &Trace{Instrs: []Instr{
+		{Class: isa.IntALU},
+		{Class: isa.IntALU},
+		{Class: isa.IntALU, Args: []int32{0}},
+		{Class: isa.IntALU, Args: []int32{1}},
+	}}
+	prof := tr.ILPProfile()
+	if !reflect.DeepEqual(prof, []int{2, 2}) {
+		t.Fatalf("profile = %v, want [2 2]", prof)
+	}
+	if got := tr.MeanILP(); got != 2.0 {
+		t.Fatalf("MeanILP = %v, want 2", got)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := chainTrace()
+	s := tr.Slice(2)
+	if s.Len() != 2 || s.Name != tr.Name {
+		t.Fatalf("slice wrong: %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("prefix invalid: %v", err)
+	}
+	if tr.Slice(100).Len() != 4 {
+		t.Error("over-long slice should clamp")
+	}
+}
+
+// randomTrace generates a structurally valid random trace for property tests.
+func randomTrace(rng *rand.Rand, n int) *Trace {
+	tr := &Trace{Name: "random"}
+	// Track indices of value-producing instructions for operand selection.
+	var producers []int32
+	for i := 0; i < n; i++ {
+		pick := func() int32 {
+			return producers[rng.Intn(len(producers))]
+		}
+		var in Instr
+		switch {
+		case len(producers) == 0:
+			in = Instr{Class: isa.IntALU}
+		default:
+			switch rng.Intn(5) {
+			case 0:
+				in = Instr{Class: isa.IntALU}
+				for k := rng.Intn(3); k > 0; k-- {
+					in.Args = append(in.Args, pick())
+				}
+			case 1:
+				in = Instr{Class: isa.FPALU, Args: []int32{pick()}}
+				if rng.Intn(2) == 0 {
+					in.Args = append(in.Args, pick())
+				}
+			case 2:
+				in = Instr{Class: isa.Load, Addr: []int32{pick()}, MemAddr: uint64(rng.Intn(1 << 20))}
+			case 3:
+				in = Instr{Class: isa.Store, Addr: []int32{pick()}, Args: []int32{pick()}, MemAddr: uint64(rng.Intn(1 << 20))}
+			default:
+				in = Instr{Class: isa.IntALU, Args: []int32{pick()}}
+			}
+		}
+		if in.Class != isa.Store {
+			producers = append(producers, int32(i))
+		}
+		tr.Instrs = append(tr.Instrs, in)
+	}
+	return tr
+}
+
+func TestRandomTracesValid(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng, int(size)+1)
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng, int(size)+1)
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Logf("read: %v", err)
+			return false
+		}
+		if got.Name != tr.Name || got.Len() != tr.Len() {
+			return false
+		}
+		for i := range tr.Instrs {
+			a, b := &tr.Instrs[i], &got.Instrs[i]
+			if a.Class != b.Class || a.MemAddr != b.MemAddr {
+				return false
+			}
+			if !refsEqual(a.Addr, b.Addr) || !refsEqual(a.Args, b.Args) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func refsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOPE00000000"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, chainTrace()); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate and ensure error, not panic.
+	b := buf.Bytes()
+	if _, err := Read(bytes.NewReader(b[:len(b)-3])); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestDump(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Dump(&buf, chainTrace(), 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "showing 2") || !strings.Contains(out, "load") {
+		t.Fatalf("dump output unexpected:\n%s", out)
+	}
+	buf.Reset()
+	if err := Dump(&buf, chainTrace(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "store") {
+		t.Fatal("full dump should include the store")
+	}
+}

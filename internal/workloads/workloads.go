@@ -1,0 +1,456 @@
+// Package workloads provides the seven synthetic kernels standing in for
+// the PERFECT club programs used by the paper (TRFD, ADM, FLO52Q, DYFESM,
+// QCD, MDG, TRACK).
+//
+// The original Fortran benchmarks and the authors' tracing toolchain are
+// not available; per DESIGN.md §2 each program is replaced by a dataflow
+// kernel that models its published character along the axes the study is
+// sensitive to:
+//
+//   - instruction-class mix (address work vs FP work vs memory refs),
+//   - shape of the address slice (affine streams, index-load gathers,
+//     data-dependent addresses),
+//   - FP dependence-chain depth and loop-carried recurrences,
+//   - cross-slice dependencies (DU→AU, the loss-of-decoupling hazard),
+//   - outer-loop parallelism available to large windows.
+//
+// The calibration targets are the paper's three latency-hiding bands at
+// MD=60 with unlimited windows (highly: TRFD, ADM, FLO52Q; moderately:
+// DYFESM, QCD, MDG; poorly: TRACK), the MD=0 crossover between DM and
+// SWSM at a few tens of window slots, and the shapes of Figures 4-9.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"daesim/internal/kernel"
+	"daesim/internal/trace"
+)
+
+// Band classifies latency-hiding effectiveness per the paper's Table 1.
+type Band uint8
+
+const (
+	// Highly effective: LHE >= 0.9 at unlimited window, MD=60.
+	Highly Band = iota
+	// Moderately effective: 0.55 <= LHE < 0.9.
+	Moderately
+	// Poorly effective: LHE < 0.55.
+	Poorly
+)
+
+func (b Band) String() string {
+	switch b {
+	case Highly:
+		return "highly"
+	case Moderately:
+		return "moderately"
+	case Poorly:
+		return "poorly"
+	default:
+		return fmt.Sprintf("band(%d)", uint8(b))
+	}
+}
+
+// Spec describes one workload.
+type Spec struct {
+	// Name is the benchmark name used by the paper.
+	Name string
+	// Description summarizes the structural model.
+	Description string
+	// Band is the paper's latency-hiding band for the program.
+	Band Band
+	// Build constructs the trace at the given scale (1 = default size).
+	Build func(scale int) *trace.Trace
+}
+
+// catalog is ordered as in the paper's Table 1.
+var catalog = []Spec{
+	{
+		Name: "TRFD",
+		Description: "two-electron integral transformation: dense blocked " +
+			"dot products with affine streams and interleaved accumulators",
+		Band:  Highly,
+		Build: TRFD,
+	},
+	{
+		Name: "ADM",
+		Description: "pseudospectral air-quality model: independent line " +
+			"sweeps with a first-order carried smoothing recurrence",
+		Band:  Highly,
+		Build: ADM,
+	},
+	{
+		Name: "FLO52Q",
+		Description: "transonic-flow Euler solver: 2-D stencil flux updates, " +
+			"memory-dense and highly parallel across cells",
+		Band:  Highly,
+		Build: FLO52Q,
+	},
+	{
+		Name: "DYFESM",
+		Description: "structural-dynamics FEM: index-load gathers and " +
+			"scatters around dense element updates",
+		Band:  Moderately,
+		Build: DYFESM,
+	},
+	{
+		Name: "QCD",
+		Description: "lattice gauge theory: deep multiply-chain link updates " +
+			"with staggered neighbour gathers",
+		Band:  Moderately,
+		Build: QCD,
+	},
+	{
+		Name: "MDG",
+		Description: "molecular dynamics of water: neighbour-list walks with " +
+			"chained index loads and carried force accumulation",
+		Band:  Moderately,
+		Build: MDG,
+	},
+	{
+		Name: "TRACK",
+		Description: "missile tracking: serial per-track state recurrences " +
+			"with data-dependent measurement gathers (loss of decoupling)",
+		Band:  Poorly,
+		Build: TRACK,
+	},
+}
+
+// Catalog returns all workload specs in the paper's Table 1 order.
+func Catalog() []Spec {
+	out := make([]Spec, len(catalog))
+	copy(out, catalog)
+	return out
+}
+
+// Names returns the workload names in Table 1 order.
+func Names() []string {
+	names := make([]string, len(catalog))
+	for i, s := range catalog {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// FigureNames returns the three programs the paper plots in Figures 4-9.
+func FigureNames() []string { return []string{"FLO52Q", "MDG", "TRACK"} }
+
+// Lookup returns the spec for a workload name.
+func Lookup(name string) (Spec, error) {
+	for _, s := range catalog {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	known := Names()
+	sort.Strings(known)
+	return Spec{}, fmt.Errorf("workloads: unknown workload %q (known: %v)", name, known)
+}
+
+// Build constructs the named workload trace at the given scale.
+func Build(name string, scale int) (*trace.Trace, error) {
+	s, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return s.Build(scale), nil
+}
+
+// TRFD models the two-electron integral transformation: nests of dense
+// dot products. Structure per outer block: a run of inner steps each
+// loading two operands from affine streams, multiplying, and adding into
+// one of four interleaved accumulators; the block ends by reducing the
+// accumulators and storing one result. Addresses depend only on the block
+// base, so the address slice decouples perfectly; the four accumulators
+// keep the carried FP chains off the critical path. Band: highly.
+func TRFD(scale int) *trace.Trace {
+	b := kernel.New("TRFD")
+	const inner = 24
+	outer := 480 * scale
+	a := b.Array("A", outer*inner, 8)
+	c := b.Array("B", outer*inner, 8)
+	out := b.Array("C", outer, 8)
+	for o := 0; o < outer; o++ {
+		base := b.Int() // block base address
+		var acc [4]kernel.Val
+		for i := 0; i < inner; i++ {
+			ia := b.Int(base)
+			av := b.Load(a, o*inner+i, ia)
+			ib := b.Int(base)
+			bv := b.Load(c, o*inner+i, ib)
+			p := b.FP(av, bv)
+			k := i % len(acc)
+			if acc[k].Valid() {
+				acc[k] = b.FP(p, acc[k])
+			} else {
+				acc[k] = p
+			}
+		}
+		r1 := b.FP(acc[0], acc[1])
+		r2 := b.FP(acc[2], acc[3])
+		r := b.FP(r1, r2)
+		b.Store(out, o, r, base)
+	}
+	return b.MustTrace()
+}
+
+// ADM models the pseudospectral air-quality model: many independent line
+// sweeps, each with a first-order carried smoothing recurrence. The loads
+// are affine and independent of the recurrence, so the AU decouples
+// fully; the DU is chain-bound within a line but lines overlap in larger
+// windows. Band: highly.
+func ADM(scale int) *trace.Trace {
+	b := kernel.New("ADM")
+	const n = 32
+	lines := 320 * scale
+	x := b.Array("X", lines*n, 8)
+	y := b.Array("Y", lines*n, 8)
+	for l := 0; l < lines; l++ {
+		base := b.Int()
+		carry := b.FP(b.Load(x, l*n, base))
+		for i := 1; i < n; i++ {
+			idx := b.Int(base)
+			v := b.Load(x, l*n+i, idx)
+			carry = b.FP(v, carry)
+			st := b.Int(base)
+			b.Store(y, l*n+i, carry, st)
+		}
+	}
+	return b.MustTrace()
+}
+
+// FLO52Q models the transonic-flow Euler solver: a 2-D stencil flux
+// update, memory-dense (five loads and two stores per cell) with a short
+// flux DAG and a row recurrence reset every few cells. Cells are
+// massively parallel, which makes it the paper's showcase for decoupled
+// prefetching: the AU streams whole rows ahead while the SWSM's single
+// window clogs with waiting accesses. A sparse serialized walk of the
+// multigrid patch table (one chased index load per 24 cells) keeps a
+// bounded amount of memory latency on the critical path, placing the
+// program at the low edge of the highly-effective band.
+func FLO52Q(scale int) *trace.Trace {
+	b := kernel.New("FLO52Q")
+	const cols = 64
+	const spinePeriod = 20
+	rows := 56 * scale
+	w := b.Array("W", rows*cols+2*cols+2, 8)
+	fl := b.Array("F", rows*cols, 8)
+	res := b.Array("R", rows*cols, 8)
+	patch := b.Array("PATCH", rows*cols/spinePeriod+2, 8)
+	cursor := b.Int() // serialized patch-table cursor
+	cells := 0
+	for r := 0; r < rows; r++ {
+		base := b.Int(cursor)
+		var carry kernel.Val
+		for cc := 0; cc < cols; cc++ {
+			if cells%spinePeriod == 0 {
+				pv := b.Load(patch, cells/spinePeriod, cursor)
+				cursor = b.Int(pv)
+				base = b.Int(cursor)
+			}
+			cells++
+			cell := r*cols + cc
+			// Mapped-coordinate metric arithmetic: FLO52 works on a
+			// curvilinear grid, so each cell's addresses need extra
+			// integer work beyond simple induction.
+			m1 := b.Int(base)
+			m2 := b.Int(m1)
+			i1 := b.Int(m2)
+			i2 := b.Int(m1)
+			west := b.Load(w, cell, i1)
+			east := b.Load(w, cell+1, i1)
+			north := b.Load(w, cell+cols, i2)
+			south := b.Load(w, cell+2*cols, i2)
+			center := b.Load(w, cell+cols+1, i2)
+			f1 := b.FP(west, east)
+			f2 := b.FP(north, south)
+			f3 := b.FP(f1, f2)
+			f4 := b.FP(f3, center)
+			if cc%8 != 0 && carry.Valid() {
+				carry = b.FP(f4, carry)
+			} else {
+				carry = f4
+			}
+			b.Store(fl, cell, f4, i1)
+			b.Store(res, cell, carry, i2)
+		}
+	}
+	return b.MustTrace()
+}
+
+// DYFESM models the structural-dynamics FEM code: per element, an index
+// load (an AU self-load) feeds three gathered operand loads, a dense
+// element update of depth five, and a scatter store through the same
+// index. The self-loads put memory latency on the AU's own critical
+// path, bounding slip and lowering the latency-hiding band to moderate.
+func DYFESM(scale int) *trace.Trace {
+	b := kernel.New("DYFESM")
+	const spinePeriod = 72
+	elements := 2600 * scale
+	front := b.Array("FRONT", elements/spinePeriod+2, 8)
+	idx := b.Array("IDX", elements, 8)
+	xv := b.Array("X", 4*elements, 8)
+	fv := b.Array("Fout", 4*elements, 8)
+	cursor := b.Int() // serialized frontal-solver cursor
+	for e := 0; e < elements; e++ {
+		if e%spinePeriod == 0 {
+			fvv := b.Load(front, e/spinePeriod, cursor)
+			cursor = b.Int(fvv) // next front depends on this front's table entry
+		}
+		eb := b.Int(cursor)
+		ix := b.Load(idx, e, eb) // element connectivity (self-load)
+		a1 := b.Int(ix)
+		x1 := b.Load(xv, (e*3)%(4*elements), eb)
+		x2 := b.Load(xv, (e*3+1)%(4*elements), eb)
+		x3 := b.Load(xv, (e*3+2)%(4*elements), a1) // gathered operand
+		g1 := b.FP(x1, x2)
+		g2 := b.FP(x3, g1)
+		g3 := b.FP(g2)
+		g4 := b.FP(g3, g1)
+		g5 := b.FP(g4)
+		sc := b.Int(ix)
+		b.Store(fv, (e*3)%(4*elements), g5, sc)
+	}
+	return b.MustTrace()
+}
+
+// QCD models the lattice-gauge Monte Carlo code: per site, a staggered
+// neighbour gather (an index load on every fourth site) and a deep
+// multiply-chain link update (depth eight, standing in for SU(3) matrix
+// arithmetic), with a carried product within each block of sites. The
+// deep chains and periodic self-loads make it moderately effective.
+func QCD(scale int) *trace.Trace {
+	b := kernel.New("QCD")
+	const spinePeriod = 32
+	sites := 1400 * scale
+	ord := b.Array("ORD", sites/spinePeriod+2, 8)
+	nbr := b.Array("NBR", sites, 8)
+	u := b.Array("U", 4*sites, 8)
+	out := b.Array("V", sites, 8)
+	cursor := b.Int() // serialized sweep-ordering cursor
+	var ix kernel.Val
+	var carry kernel.Val
+	for s := 0; s < sites; s++ {
+		if s%spinePeriod == 0 {
+			ov := b.Load(ord, s/spinePeriod, cursor)
+			cursor = b.Int(ov) // staggered sweep order chains through the table
+		}
+		base := b.Int(cursor)
+		if s%4 == 0 {
+			ix = b.Load(nbr, s, base) // staggered neighbour index (self-load)
+			carry = kernel.Val{}      // block boundary resets the carried product
+		}
+		a1 := b.Int(ix, base)
+		a2 := b.Int(ix, base)
+		l1 := b.Load(u, (4*s)%(4*sites), a1)
+		l2 := b.Load(u, (4*s+1)%(4*sites), a2)
+		l3 := b.Load(u, (4*s+2)%(4*sites), a1)
+		l4 := b.Load(u, (4*s+3)%(4*sites), a2)
+		m1 := b.FP(l1, l2)
+		m2 := b.FP(l3, l4)
+		h := b.FP(m1, m2)
+		h = b.FPChain(5, h)
+		if carry.Valid() {
+			carry = b.FP(h, carry)
+		} else {
+			carry = h
+		}
+		b.Store(out, s, carry, base)
+	}
+	return b.MustTrace()
+}
+
+// MDG models the molecular-dynamics water code: per molecule, a walk of
+// its neighbour list (one index self-load per neighbour, three coordinate
+// gathers through it), a depth-six force computation and a carried
+// accumulation; every fourth molecule the linked-cell list cursor chases
+// through memory, serializing a slice of the address stream. Band:
+// moderately (lowest of the band).
+func MDG(scale int) *trace.Trace {
+	b := kernel.New("MDG")
+	const neighbors = 6
+	const spinePeriod = 10 // molecules per linked-cell chase
+	mols := 340 * scale
+	cellList := b.Array("CELL", mols/spinePeriod+2, 8)
+	nbr := b.Array("NBR", mols*neighbors, 8)
+	xyz := b.Array("XYZ", 3*mols*neighbors, 8)
+	f := b.Array("F", 3*mols, 8)
+	cursor := b.Int() // linked-cell list cursor
+	for m := 0; m < mols; m++ {
+		if m%spinePeriod == 0 {
+			cv := b.Load(cellList, m/spinePeriod, cursor)
+			cursor = b.Int(cv) // next cell depends on this cell's entry
+		}
+		mb := b.Int(cursor)
+		var acc kernel.Val
+		for n := 0; n < neighbors; n++ {
+			ix := b.Load(nbr, m*neighbors+n, mb) // neighbour index (self-load)
+			// Periodic-image wrap arithmetic on the neighbour index.
+			iw := b.Int(ix)
+			ia := b.Int(iw)
+			c1 := b.Load(xyz, (3*(m*neighbors+n))%(3*mols*neighbors), ia)
+			c2 := b.Load(xyz, (3*(m*neighbors+n)+1)%(3*mols*neighbors), ia)
+			c3 := b.Load(xyz, (3*(m*neighbors+n)+2)%(3*mols*neighbors), ia)
+			d1 := b.FP(c1, c2)
+			d2 := b.FP(c3, d1)
+			d3 := b.FP(d2)
+			d4 := b.FP(d3, d1)
+			if acc.Valid() {
+				acc = b.FP(d4, acc)
+			} else {
+				acc = b.FP(d4)
+			}
+		}
+		st := b.Int(mb)
+		b.Store(f, (3*m)%(3*mols), acc, st)
+	}
+	return b.MustTrace()
+}
+
+// TRACK models the missile-tracking code: a small set of tracks, each a
+// long serial state recurrence. Every third step gates the next
+// measurement address on the floating-point state (a DU→AU dependence —
+// the loss-of-decoupling hazard), so memory latency lands on the critical
+// path and cannot be hidden; the other steps fetch along the predicted
+// (affine) path. Little parallelism exists beyond the track count.
+// Band: poorly.
+func TRACK(scale int) *trace.Trace {
+	b := kernel.New("TRACK")
+	const tracks = 14
+	steps := 340 * scale
+	meas := b.Array("MEAS", tracks*steps, 8)
+	hist := b.Array("HIST", tracks*steps, 8)
+	type trackState struct {
+		state kernel.Val
+		gate  kernel.Val
+	}
+	st := make([]trackState, tracks)
+	for tIdx := range st {
+		st[tIdx].state = b.FP()
+		st[tIdx].gate = b.Int()
+	}
+	// Interleave the tracks step by step, as the real code sweeps all
+	// active tracks each radar frame.
+	for s := 0; s < steps; s++ {
+		for tr := 0; tr < tracks; tr++ {
+			ts := &st[tr]
+			if s%3 == 0 {
+				// Gate recomputed from the FP state: loss of decoupling.
+				ts.gate = b.Int(ts.state)
+			} else {
+				ts.gate = b.Int(ts.gate)
+			}
+			m := b.Load(meas, tr*steps+s, ts.gate)
+			ts.state = b.FPChain(3, m, ts.state)
+			if s%8 == 0 {
+				b.Store(hist, tr*steps+s, ts.state, ts.gate)
+			}
+		}
+	}
+	return b.MustTrace()
+}
