@@ -45,10 +45,11 @@ func suites(b *testing.B) (*daesim.Suite, *daesim.Suite) {
 }
 
 // BenchmarkEngineDM measures raw simulation throughput of the decoupled
-// machine at the paper's headline operating point.
+// machine at the paper's headline operating point (pool-backed scratch).
 func BenchmarkEngineDM(b *testing.B) {
 	flo, _ := suites(b)
 	ops := float64(flo.DM.Program.Len())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := flo.RunDM(daesim.Params{Window: 64, MD: 60})
@@ -61,13 +62,52 @@ func BenchmarkEngineDM(b *testing.B) {
 }
 
 // BenchmarkEngineSWSM measures raw simulation throughput of the
-// superscalar machine.
+// superscalar machine (pool-backed scratch).
 func BenchmarkEngineSWSM(b *testing.B) {
 	flo, _ := suites(b)
 	ops := float64(flo.SWSM.Len())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := flo.RunSWSM(daesim.Params{Window: 64, MD: 60}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(ops*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mops/s")
+}
+
+// BenchmarkEngineDMScratch is BenchmarkEngineDM on a caller-held Sim,
+// the pattern sweep workers use: no pool round-trip, scratch stays warm
+// for the goroutine's whole lifetime.
+func BenchmarkEngineDMScratch(b *testing.B) {
+	flo, _ := suites(b)
+	ops := float64(flo.DM.Program.Len())
+	sim := daesim.NewSim()
+	if _, err := flo.RunDMWith(sim, daesim.Params{Window: 64, MD: 60}); err != nil {
+		b.Fatal(err) // warm the scratch so growth isn't timed
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flo.RunDMWith(sim, daesim.Params{Window: 64, MD: 60}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(ops*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mops/s")
+}
+
+// BenchmarkEngineSWSMScratch is BenchmarkEngineSWSM on a caller-held Sim.
+func BenchmarkEngineSWSMScratch(b *testing.B) {
+	flo, _ := suites(b)
+	ops := float64(flo.SWSM.Len())
+	sim := daesim.NewSim()
+	if _, err := flo.RunSWSMWith(sim, daesim.Params{Window: 64, MD: 60}); err != nil {
+		b.Fatal(err) // warm the scratch so growth isn't timed
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flo.RunSWSMWith(sim, daesim.Params{Window: 64, MD: 60}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -51,7 +51,14 @@ type (
 	// MemModel abstracts the memory system (see Fixed, Ports, Outstanding,
 	// Bypass).
 	MemModel = engine.MemModel
+	// Sim is a reusable engine scratch context: hold one per goroutine and
+	// pass it to Suite.RunDMWith/RunSWSMWith so repeated runs allocate
+	// almost nothing. The plain Run methods draw from a shared pool.
+	Sim = engine.Sim
 )
+
+// NewSim returns an empty reusable simulation context (see Sim).
+func NewSim() *Sim { return engine.NewSim() }
 
 // Machine kinds.
 const (

@@ -1,0 +1,3 @@
+module daesim
+
+go 1.24

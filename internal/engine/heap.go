@@ -54,6 +54,7 @@ type int64Heap struct{ a []int64 }
 func (h *int64Heap) len() int    { return len(h.a) }
 func (h *int64Heap) empty() bool { return len(h.a) == 0 }
 func (h *int64Heap) peek() int64 { return h.a[0] }
+func (h *int64Heap) reset()      { h.a = h.a[:0] }
 
 func (h *int64Heap) push(v int64) {
 	h.a = append(h.a, v)

@@ -37,6 +37,17 @@ func TestRetireInOrderBlocksBehindLoads(t *testing.T) {
 	}
 }
 
+// TestRetireInOrderNeverFaster checks that in-order retirement cannot
+// beat retire-at-completion — but only with unlimited IssueWidth. With a
+// finite issue width the property is false: greedy oldest-first issue is
+// list scheduling, and relaxing a resource constraint (retiring slots
+// earlier lets the core dispatch further ahead) can make a greedy
+// schedule *worse* — a Graham scheduling anomaly, not engine corruption.
+// The seed asserted the property for finite widths too, which failed on
+// roughly one random program in a few thousand (the anomaly is pinned
+// deterministically in TestRetireInOrderAnomalyWithFiniteWidth). With
+// unlimited width the issue stage never arbitrates, so extra lookahead
+// can only wake operations earlier, and monotonicity holds.
 func TestRetireInOrderNeverFaster(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -44,7 +55,7 @@ func TestRetireInOrderNeverFaster(t *testing.T) {
 		p := randomProgram(rng, 150, units)
 		cores := make([]isa.CoreConfig, units)
 		for i := range cores {
-			cores[i] = isa.CoreConfig{Window: 4 + rng.Intn(12), IssueWidth: 1 + rng.Intn(4)}
+			cores[i] = isa.CoreConfig{Window: 4 + rng.Intn(12), IssueWidth: 1 << 20}
 		}
 		md := rng.Intn(40)
 		def, err := Run(p, Config{Timing: tm(md), Cores: cores})
@@ -63,6 +74,33 @@ func TestRetireInOrderNeverFaster(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRetireInOrderAnomalyWithFiniteWidth pins the Graham anomaly that
+// made the seed's finite-width version of the property above flaky: on
+// this program (randomProgram seed 2259, the seed test's own generator)
+// the default mode's deeper dispatch lookahead lets an off-critical-path
+// op win an issue slot over a critical-path op, and the nominally
+// *worse* in-order retirement policy finishes two cycles earlier. The
+// engine is deterministic, so the exact cycle counts are asserted: if
+// this test fails, issue-arbitration semantics changed.
+func TestRetireInOrderAnomalyWithFiniteWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2259))
+	units := 1 + rng.Intn(2) // 2
+	p := randomProgram(rng, 150, units)
+	cores := make([]isa.CoreConfig, units)
+	for i := range cores {
+		cores[i] = isa.CoreConfig{Window: 4 + rng.Intn(12), IssueWidth: 1 + rng.Intn(4)}
+	}
+	md := rng.Intn(40) // cores {9,4} {15,1}, md=5
+	def := mustRun(t, p, Config{Timing: tm(md), Cores: cores})
+	rob := mustRun(t, p, Config{Timing: tm(md), Cores: cores, RetireInOrder: true})
+	if def.Cycles != 78 || rob.Cycles != 76 {
+		t.Fatalf("anomaly shifted: default=%d (want 78), in-order=%d (want 76)", def.Cycles, rob.Cycles)
+	}
+	if rob.Cycles >= def.Cycles {
+		t.Fatalf("anomaly vanished: in-order %d >= default %d", rob.Cycles, def.Cycles)
 	}
 }
 

@@ -1,0 +1,327 @@
+package engine
+
+import (
+	"fmt"
+
+	"daesim/internal/isa"
+)
+
+// Sim is a reusable simulation context: the per-run scratch state (op
+// lifecycle, dependence counters, per-core window state, ready heaps and
+// the calendar event queue) survives between runs, so repeated Run calls
+// on warm scratch allocate almost nothing beyond the returned Result.
+//
+// A Sim is not safe for concurrent use; give each worker goroutine its
+// own (see sweep.Runner.RunAll). The package-level Run function draws
+// from a shared pool and is safe from any goroutine.
+type Sim struct {
+	state   []uint8
+	pending []int32
+	cores   []coreRun
+	cq      calQueue
+}
+
+// NewSim returns an empty simulation context. Scratch buffers grow on
+// first use and are retained for subsequent runs.
+func NewSim() *Sim { return &Sim{} }
+
+type coreRun struct {
+	cfg       isa.CoreConfig
+	stream    []int32
+	next      int // dispatch frontier within stream
+	occ       int
+	window    int // effective window (large number when unlimited)
+	ready     i32Heap
+	oldestPtr int // lazy pointer to oldest possibly-in-flight stream position
+	retirePtr int // in-order retirement frontier (RetireInOrder only)
+	lastOrig  int32
+	stats     CoreStats
+	lastTouch int64
+}
+
+func (c *coreRun) touch(cycle int64) {
+	c.stats.OccIntegral += int64(c.occ) * (cycle - c.lastTouch)
+	c.lastTouch = cycle
+}
+
+const histCap = 32
+
+// reset sizes the scratch for program p under cfg and clears it.
+func (s *Sim) reset(p *Program, cfg Config) {
+	n := len(p.Ops)
+	if cap(s.state) < n {
+		s.state = make([]uint8, n)
+	} else {
+		s.state = s.state[:n]
+		clear(s.state)
+	}
+	if cap(s.pending) < n {
+		s.pending = make([]int32, n)
+	} else {
+		s.pending = s.pending[:n]
+	}
+	copy(s.pending, p.nDeps)
+
+	if cap(s.cores) < p.NumUnits {
+		s.cores = make([]coreRun, p.NumUnits)
+	} else {
+		s.cores = s.cores[:p.NumUnits]
+	}
+	for u := range s.cores {
+		cc := cfg.Cores[u]
+		window := cc.Window
+		if cc.Unlimited() {
+			window = n + 1
+		}
+		hist := cc.IssueWidth + 1
+		if hist > histCap {
+			hist = histCap
+		}
+		c := &s.cores[u]
+		ready := c.ready
+		ready.reset()
+		// IssueHist escapes with the Result, so it must be fresh each run.
+		*c = coreRun{
+			cfg:      cc,
+			stream:   p.streams[u],
+			window:   window,
+			ready:    ready,
+			lastOrig: -1,
+		}
+		c.stats.IssueHist = make([]int64, hist)
+	}
+
+	maxLat := 1
+	if cfg.Timing.FPLat > maxLat {
+		maxLat = cfg.Timing.FPLat
+	}
+	if cfg.Timing.CopyLat > maxLat {
+		maxLat = cfg.Timing.CopyLat
+	}
+	// +2 covers the completion cycle and the fill's sent->arrive hop.
+	s.cq.reset(int64(maxLat) + int64(cfg.Timing.MD) + 2)
+}
+
+// wake delivers one dependence edge to op i.
+func (s *Sim) wake(p *Program, i int32) {
+	s.pending[i]--
+	if s.pending[i] == 0 && s.state[i] == stInWindow {
+		s.cores[p.Ops[i].Unit].ready.push(i)
+	}
+}
+
+// Run executes the program under the configuration and returns
+// statistics. Runs are deterministic: identical inputs produce identical
+// results, regardless of which (or how warm a) Sim executes them.
+//
+// The cycle loop is: fire due events; dispatch in program order per
+// core; issue oldest-first per core; sample ESW/slippage; advance time,
+// jumping over idle stretches via the calendar queue. Event order within
+// a cycle never affects the outcome: completions and fills only
+// decrement dependence counters and push onto the ready min-heaps, and
+// the heaps order issue by op index alone.
+func (s *Sim) Run(p *Program, cfg Config) (*Result, error) {
+	if err := cfg.Validate(p); err != nil {
+		return nil, err
+	}
+	n := len(p.Ops)
+	res := &Result{Ops: n, TraceLen: p.TraceLen, Cores: make([]CoreStats, p.NumUnits)}
+	if n == 0 {
+		return res, nil
+	}
+	if cfg.Mem != nil {
+		cfg.Mem.Reset()
+	}
+	md := int64(cfg.Timing.MD)
+	s.reset(p, cfg)
+	cores := s.cores
+
+	completed := 0
+	var cycle int64
+	var inflight, maxInflight int
+	var eswSamples, slipSamples int64
+	var eswSum, slipSum int64
+
+	for completed < n {
+		// 1. Fire events due now.
+		s.cq.drain(cycle)
+		if b := s.cq.fire(cycle); b != nil {
+			for _, i := range b.comps {
+				s.state[i] = stDone
+				completed++
+				if !cfg.RetireInOrder {
+					c := &cores[p.Ops[i].Unit]
+					c.touch(cycle)
+					c.occ--
+				}
+				for _, consumer := range p.consPlain[i] {
+					s.wake(p, consumer)
+				}
+			}
+			if cfg.RetireInOrder && len(b.comps) > 0 {
+				// Reclaim slots in program order up to the oldest
+				// incomplete op of each core.
+				for u := range cores {
+					c := &cores[u]
+					for c.retirePtr < c.next && s.state[c.stream[c.retirePtr]] == stDone {
+						c.retirePtr++
+						c.touch(cycle)
+						c.occ--
+					}
+				}
+			}
+			for _, i := range b.fills {
+				inflight--
+				for _, consumer := range p.consFill[i] {
+					s.wake(p, consumer)
+				}
+			}
+			clearBucket(b)
+		}
+
+		// 2. Dispatch in program order, per core.
+		for u := range cores {
+			c := &cores[u]
+			dw := c.cfg.EffectiveDispatch()
+			for k := 0; k < dw && c.occ < c.window && c.next < len(c.stream); k++ {
+				i := c.stream[c.next]
+				c.next++
+				c.touch(cycle)
+				c.occ++
+				if c.occ > c.stats.MaxOcc {
+					c.stats.MaxOcc = c.occ
+				}
+				s.state[i] = stInWindow
+				c.lastOrig = p.Ops[i].Orig
+				if s.pending[i] == 0 {
+					c.ready.push(i)
+				}
+			}
+		}
+
+		// 3. Issue oldest-first, per core.
+		for u := range cores {
+			c := &cores[u]
+			issued := 0
+			for issued < c.cfg.IssueWidth && !c.ready.empty() {
+				i := c.ready.pop()
+				issued++
+				s.state[i] = stIssued
+				op := &p.Ops[i]
+				c.stats.Issued++
+				c.stats.IssuedByKind[op.Kind]++
+				lat := int64(cfg.Timing.Latency(op.Kind))
+				done := cycle + lat
+				if op.Kind.IsSend() {
+					arrive := done + md
+					if cfg.Mem != nil {
+						arrive = cfg.Mem.RequestFill(op.Addr, done)
+						if arrive < done {
+							return nil, fmt.Errorf("engine: memory model returned arrival %d before send %d", arrive, done)
+						}
+					}
+					res.Fills++
+					if len(p.consFill[i]) > 0 || cfg.Mem != nil {
+						inflight++
+						if inflight > maxInflight {
+							maxInflight = inflight
+						}
+						s.cq.schedule(cycle, arrive, i, true)
+					}
+					if cfg.HoldSendSlots {
+						// The send occupies its slot until the fill returns.
+						done = arrive
+					}
+				}
+				s.cq.schedule(cycle, done, i, false)
+				if op.Kind.IsConsume() && cfg.Mem != nil {
+					cfg.Mem.Consume(op.Addr, cycle)
+				}
+			}
+			if issued > 0 {
+				c.stats.BusyCycles++
+				h := issued
+				if h >= len(c.stats.IssueHist) {
+					h = len(c.stats.IssueHist) - 1
+				}
+				c.stats.IssueHist[h]++
+			}
+		}
+
+		// 4. ESW and slippage sampling.
+		if cfg.CollectESW {
+			var youngest int32 = -1
+			oldest := int32(-1)
+			for u := range cores {
+				c := &cores[u]
+				if c.lastOrig > youngest {
+					youngest = c.lastOrig
+				}
+				for c.oldestPtr < c.next && s.state[c.stream[c.oldestPtr]] == stDone {
+					c.oldestPtr++
+				}
+				if c.oldestPtr < c.next {
+					o := p.Ops[c.stream[c.oldestPtr]].Orig
+					if oldest == -1 || o < oldest {
+						oldest = o
+					}
+				}
+			}
+			if oldest >= 0 && youngest >= oldest {
+				esw := int64(youngest-oldest) + 1
+				eswSum += esw
+				eswSamples++
+				if esw > res.MaxESW {
+					res.MaxESW = esw
+				}
+			}
+			if len(cores) == 2 && cores[0].lastOrig >= 0 && cores[1].lastOrig >= 0 {
+				slip := int64(cores[0].lastOrig - cores[1].lastOrig)
+				slipSum += slip
+				slipSamples++
+				if slip > res.MaxSlip {
+					res.MaxSlip = slip
+				}
+			}
+		}
+
+		// 5. Advance time, fast-forwarding idle stretches.
+		progressNext := false
+		for u := range cores {
+			c := &cores[u]
+			if !c.ready.empty() || (c.next < len(c.stream) && c.occ < c.window) {
+				progressNext = true
+				break
+			}
+		}
+		if progressNext {
+			cycle++
+			continue
+		}
+		if completed == n {
+			break
+		}
+		// Jump to the next event; one must exist or the program deadlocked.
+		next := s.cq.nextAfter(cycle)
+		if next < 0 {
+			return nil, fmt.Errorf("engine: deadlock at cycle %d with %d/%d ops complete", cycle, completed, n)
+		}
+		cycle = next
+	}
+
+	// Final cycle count: the last completion time.
+	res.Cycles = cycle
+	for u := range cores {
+		c := &cores[u]
+		c.touch(cycle)
+		res.Cores[u] = c.stats
+	}
+	res.MaxFillsInFlight = maxInflight
+	if eswSamples > 0 {
+		res.AvgESW = float64(eswSum) / float64(eswSamples)
+	}
+	if slipSamples > 0 {
+		res.AvgSlip = float64(slipSum) / float64(slipSamples)
+	}
+	return res, nil
+}

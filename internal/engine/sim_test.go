@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"daesim/internal/isa"
+)
+
+// randomConfig draws a core configuration like the quick-check property
+// tests use, plus occasional engine-mode flags, so the differential test
+// covers every code path of the event loop.
+func randomConfig(rng *rand.Rand, units int) Config {
+	cores := make([]isa.CoreConfig, units)
+	for i := range cores {
+		w := rng.Intn(20) // 0 = unlimited
+		cores[i] = isa.CoreConfig{Window: w, IssueWidth: 1 + rng.Intn(6)}
+		if rng.Intn(4) == 0 {
+			cores[i].DispatchWidth = 1 + rng.Intn(6)
+		}
+	}
+	cfg := Config{
+		Timing:        tm(rng.Intn(70)),
+		Cores:         cores,
+		CollectESW:    rng.Intn(2) == 0,
+		HoldSendSlots: rng.Intn(3) == 0,
+		RetireInOrder: rng.Intn(3) == 0,
+	}
+	if rng.Intn(3) == 0 {
+		cfg.Mem = &delayMem{md: int64(rng.Intn(40))}
+	}
+	return cfg
+}
+
+// TestCalendarQueueMatchesReference differentially tests the
+// calendar-queue engine against the seed's map-and-heap implementation:
+// every field of the Result must be bit-identical across random
+// programs, configurations and memory models.
+func TestCalendarQueueMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		units := 1 + rng.Intn(2)
+		p := randomProgram(rng, 20+rng.Intn(180), units)
+		cfg := randomConfig(rng, units)
+		got, gotErr := Run(p, cfg)
+		// The reference must see the same memory-model state; Run resets
+		// the model, and referenceRun resets it again before use.
+		want, wantErr := referenceRun(p, cfg)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Logf("seed=%d: error mismatch: %v vs %v", seed, gotErr, wantErr)
+			return false
+		}
+		if gotErr != nil {
+			return true
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Logf("seed=%d: result mismatch:\n calendar: %+v\n reference: %+v", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFarEventOverflow drives events far beyond the wheel horizon (huge
+// MD, and a memory model that delays arrivals past any horizon) through
+// both engines.
+func TestFarEventOverflow(t *testing.T) {
+	p := twoUnitProgram(40)
+	cores := []isa.CoreConfig{{Window: 6, IssueWidth: 4}, {Window: 6, IssueWidth: 5}}
+	for _, cfg := range []Config{
+		{Timing: isa.Timing{MD: 100_000, FPLat: 3, CopyLat: 1}, Cores: cores},
+		{Timing: tm(30), Cores: cores, Mem: &delayMem{md: 50_000}},
+		{Timing: isa.Timing{MD: 9000, FPLat: 3, CopyLat: 1}, Cores: cores, HoldSendSlots: true},
+	} {
+		got := mustRun(t, p, cfg)
+		want, err := referenceRun(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("md=%d: mismatch:\n calendar: %+v\n reference: %+v", cfg.Timing.MD, got, want)
+		}
+	}
+}
+
+// TestSimRunsAreIdentical asserts the documented determinism guarantee
+// at full Result granularity: two runs of the same program and
+// configuration — on fresh and on warm scratch — are bit-identical.
+func TestSimRunsAreIdentical(t *testing.T) {
+	p := twoUnitProgram(100)
+	cfg := Config{Timing: tm(30), Cores: []isa.CoreConfig{{Window: 8, IssueWidth: 4}, {Window: 8, IssueWidth: 5}}, CollectESW: true}
+	fresh, err := NewSim().Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSim()
+	// Warm the scratch on a different program and config first.
+	if _, err := sim.Run(intChain(300), Config{Timing: tm(5), Cores: oneCore(4, 2), RetireInOrder: true}); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sim.Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, warm) {
+		t.Fatalf("warm scratch changed the result:\n fresh: %+v\n warm: %+v", fresh, warm)
+	}
+}
+
+// TestSimReuseAllocs pins the zero-allocation property of the reused
+// scratch path: after warm-up, a run allocates only the Result it
+// returns (Result, Cores slice, per-core IssueHist).
+func TestSimReuseAllocs(t *testing.T) {
+	p := twoUnitProgram(200)
+	cfg := Config{Timing: tm(60), Cores: []isa.CoreConfig{{Window: 64, IssueWidth: 4}, {Window: 64, IssueWidth: 5}}}
+	sim := NewSim()
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := sim.Run(p, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 4 = Result + Cores + 2 IssueHist; allow a little headroom for
+	// runtime-internal noise.
+	if avg > 8 {
+		t.Fatalf("reused-scratch run allocates %.0f objects, want <= 8", avg)
+	}
+}
+
+// TestPooledRunAllocs asserts the compatibility wrapper inherits the
+// reuse through the pool.
+func TestPooledRunAllocs(t *testing.T) {
+	p := twoUnitProgram(200)
+	cfg := Config{Timing: tm(60), Cores: []isa.CoreConfig{{Window: 64, IssueWidth: 4}, {Window: 64, IssueWidth: 5}}}
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := Run(p, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 10 {
+		t.Fatalf("pooled run allocates %.0f objects, want <= 10", avg)
+	}
+}

@@ -202,10 +202,11 @@ func (c *Context) RatioFigure(name string) (*RatioResult, error) {
 		return nil, err
 	}
 	res := &RatioResult{Number: num, Workload: name, Saturated: map[int][]int{}}
+	sim := engine.NewSim()
 	for _, md := range RatioMDs {
 		s := sweep.Series{Name: fmt.Sprintf("md=%d", md)}
 		for _, w := range RatioWindows {
-			dm, err := r.Run(sweep.Point{Kind: machine.DM, P: machine.Params{Window: w, MD: md}})
+			dm, err := r.RunWith(sim, sweep.Point{Kind: machine.DM, P: machine.Params{Window: w, MD: md}})
 			if err != nil {
 				return nil, err
 			}
@@ -214,7 +215,7 @@ func (c *Context) RatioFigure(name string) (*RatioResult, error) {
 			queue := machine.QueueFactor * w
 			eq, ok, err := metrics.EquivalentWindowFunc(func(sw int) (int64, error) {
 				p := machine.Params{Window: sw, MD: md, MemQueue: queue}
-				rr, err := r.Run(sweep.Point{Kind: machine.SWSM, P: p})
+				rr, err := r.RunWith(sim, sweep.Point{Kind: machine.SWSM, P: p})
 				if err != nil {
 					return 0, err
 				}
@@ -341,6 +342,7 @@ type ESWResult struct {
 // to pure rate imbalance and stops measuring latency-driven slippage).
 func (c *Context) ESWStudy() (*ESWResult, error) {
 	res := &ESWResult{}
+	sim := engine.NewSim()
 	for _, name := range workloads.FigureNames() {
 		r, err := c.Runner(name)
 		if err != nil {
@@ -349,7 +351,7 @@ func (c *Context) ESWStudy() (*ESWResult, error) {
 		for _, w := range []int{16, 64} {
 			for _, md := range []int{10, 30, MDFull} {
 				p := machine.Params{Window: w, MD: md, CollectESW: true}
-				rr, err := r.Suite.RunDM(p)
+				rr, err := r.Suite.RunDMWith(sim, p)
 				if err != nil {
 					return nil, err
 				}

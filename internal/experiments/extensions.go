@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 
+	"daesim/internal/engine"
 	"daesim/internal/isa"
 	"daesim/internal/machine"
 	"daesim/internal/memsys"
@@ -106,6 +107,7 @@ type PolicyResult struct {
 // question (static vs alternative partitions of the code).
 func (c *Context) PolicyStudy() (*PolicyResult, error) {
 	res := &PolicyResult{}
+	sim := engine.NewSim()
 	for _, spec := range workloads.Catalog() {
 		tr, err := workloads.Build(spec.Name, c.Scale)
 		if err != nil {
@@ -116,11 +118,11 @@ func (c *Context) PolicyStudy() (*PolicyResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			r0, err := suite.RunDM(machine.Params{Window: ablationWindow, MD: MDZero})
+			r0, err := suite.RunDMWith(sim, machine.Params{Window: ablationWindow, MD: MDZero})
 			if err != nil {
 				return nil, err
 			}
-			r60, err := suite.RunDM(machine.Params{Window: ablationWindow, MD: ablationMD})
+			r60, err := suite.RunDMWith(sim, machine.Params{Window: ablationWindow, MD: ablationMD})
 			if err != nil {
 				return nil, err
 			}
@@ -228,13 +230,14 @@ type CacheResult struct {
 // CacheStudy runs the figure workloads against the default hierarchy.
 func (c *Context) CacheStudy() (*CacheResult, error) {
 	res := &CacheResult{}
+	sim := engine.NewSim()
 	for _, name := range workloads.FigureNames() {
 		r, err := c.Runner(name)
 		if err != nil {
 			return nil, err
 		}
 		for _, kind := range []machine.Kind{machine.DM, machine.SWSM} {
-			fixed, err := r.Run(sweep.Point{Kind: kind, P: machine.Params{Window: ablationWindow, MD: ablationMD}})
+			fixed, err := r.RunWith(sim, sweep.Point{Kind: kind, P: machine.Params{Window: ablationWindow, MD: ablationMD}})
 			if err != nil {
 				return nil, err
 			}
@@ -242,7 +245,7 @@ func (c *Context) CacheStudy() (*CacheResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			cached, err := r.Suite.Run(kind, machine.Params{Window: ablationWindow, MD: ablationMD, Mem: h})
+			cached, err := r.Suite.RunWith(sim, kind, machine.Params{Window: ablationWindow, MD: ablationMD, Mem: h})
 			if err != nil {
 				return nil, err
 			}
@@ -293,19 +296,20 @@ type ComplexityResult struct {
 func (c *Context) ComplexityStudy() (*ComplexityResult, error) {
 	res := &ComplexityResult{MD: ablationMD}
 	model := metrics.DefaultDelayModel
+	sim := engine.NewSim()
 	for _, name := range workloads.FigureNames() {
 		r, err := c.Runner(name)
 		if err != nil {
 			return nil, err
 		}
 		for _, w := range []int{32, 64, 100} {
-			dm, err := r.Run(sweep.Point{Kind: machine.DM, P: machine.Params{Window: w, MD: ablationMD}})
+			dm, err := r.RunWith(sim, sweep.Point{Kind: machine.DM, P: machine.Params{Window: w, MD: ablationMD}})
 			if err != nil {
 				return nil, err
 			}
 			queue := machine.QueueFactor * w
 			eq, ok, err := metrics.EquivalentWindowFunc(func(sw int) (int64, error) {
-				rr, err := r.Run(sweep.Point{Kind: machine.SWSM, P: machine.Params{Window: sw, MD: ablationMD, MemQueue: queue}})
+				rr, err := r.RunWith(sim, sweep.Point{Kind: machine.SWSM, P: machine.Params{Window: sw, MD: ablationMD, MemQueue: queue}})
 				if err != nil {
 					return 0, err
 				}

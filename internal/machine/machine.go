@@ -176,25 +176,36 @@ func NewSuite(tr *trace.Trace, pol partition.Policy) (*Suite, error) {
 	return &Suite{Trace: tr, DM: dm, SWSM: sw}, nil
 }
 
-// Run executes the given machine kind under p.
+// Run executes the given machine kind under p, drawing a reusable
+// engine scratch context from the shared pool.
 func (s *Suite) Run(kind Kind, p Params) (*engine.Result, error) {
+	return s.RunWith(nil, kind, p)
+}
+
+// RunWith executes the given machine kind under p on sim's reusable
+// scratch. A nil sim draws from the engine's shared pool. Callers that
+// run many configurations on a dedicated goroutine (sweep workers,
+// equivalent-window searches) should hold their own engine.Sim so
+// repeated runs allocate nothing beyond the Results.
+func (s *Suite) RunWith(sim *engine.Sim, kind Kind, p Params) (*engine.Result, error) {
 	switch kind {
 	case DM:
-		return s.RunDM(p)
+		return s.RunDMWith(sim, p)
 	case SWSM:
-		return s.RunSWSM(p)
+		return s.RunSWSMWith(sim, p)
 	default:
 		return nil, fmt.Errorf("machine: unknown kind %v", kind)
 	}
 }
 
-// RunDM executes the decoupled machine under p.
-func (s *Suite) RunDM(p Params) (*engine.Result, error) {
+// dmConfig materializes the engine configuration for the decoupled
+// machine.
+func (p Params) dmConfig() (engine.Config, error) {
 	mem, err := p.queueModel()
 	if err != nil {
-		return nil, err
+		return engine.Config{}, err
 	}
-	cfg := engine.Config{
+	return engine.Config{
 		Timing: p.Timing(),
 		Cores: []isa.CoreConfig{
 			{Window: p.auWindow(), IssueWidth: p.auWidth(), DispatchWidth: p.DispatchWidth},
@@ -204,17 +215,17 @@ func (s *Suite) RunDM(p Params) (*engine.Result, error) {
 		CollectESW:    p.CollectESW,
 		HoldSendSlots: p.HoldSendSlots,
 		RetireInOrder: p.RetireInOrder,
-	}
-	return engine.Run(s.DM.Program, cfg)
+	}, nil
 }
 
-// RunSWSM executes the superscalar machine under p.
-func (s *Suite) RunSWSM(p Params) (*engine.Result, error) {
+// swsmConfig materializes the engine configuration for the superscalar
+// machine.
+func (p Params) swsmConfig() (engine.Config, error) {
 	mem, err := p.queueModel()
 	if err != nil {
-		return nil, err
+		return engine.Config{}, err
 	}
-	cfg := engine.Config{
+	return engine.Config{
 		Timing: p.Timing(),
 		Cores: []isa.CoreConfig{
 			{Window: p.Window, IssueWidth: p.swsmWidth(), DispatchWidth: p.DispatchWidth},
@@ -223,8 +234,39 @@ func (s *Suite) RunSWSM(p Params) (*engine.Result, error) {
 		CollectESW:    p.CollectESW,
 		HoldSendSlots: p.HoldSendSlots,
 		RetireInOrder: p.RetireInOrder,
+	}, nil
+}
+
+// RunDM executes the decoupled machine under p.
+func (s *Suite) RunDM(p Params) (*engine.Result, error) { return s.RunDMWith(nil, p) }
+
+// RunDMWith executes the decoupled machine under p on sim's scratch
+// (nil draws from the shared pool).
+func (s *Suite) RunDMWith(sim *engine.Sim, p Params) (*engine.Result, error) {
+	cfg, err := p.dmConfig()
+	if err != nil {
+		return nil, err
 	}
-	return engine.Run(s.SWSM, cfg)
+	if sim == nil {
+		return engine.Run(s.DM.Program, cfg)
+	}
+	return sim.Run(s.DM.Program, cfg)
+}
+
+// RunSWSM executes the superscalar machine under p.
+func (s *Suite) RunSWSM(p Params) (*engine.Result, error) { return s.RunSWSMWith(nil, p) }
+
+// RunSWSMWith executes the superscalar machine under p on sim's scratch
+// (nil draws from the shared pool).
+func (s *Suite) RunSWSMWith(sim *engine.Sim, p Params) (*engine.Result, error) {
+	cfg, err := p.swsmConfig()
+	if err != nil {
+		return nil, err
+	}
+	if sim == nil {
+		return engine.Run(s.SWSM, cfg)
+	}
+	return sim.Run(s.SWSM, cfg)
 }
 
 // SerialCycles returns the execution time of tr on the serial reference

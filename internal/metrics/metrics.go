@@ -7,6 +7,7 @@ package metrics
 import (
 	"fmt"
 
+	"daesim/internal/engine"
 	"daesim/internal/machine"
 )
 
@@ -81,12 +82,14 @@ func EquivalentWindowFunc(run RunFunc, target int64) (window int, ok bool, err e
 }
 
 // EquivalentWindow is EquivalentWindowFunc against the suite's SWSM with
-// parameters p (p.Window is ignored).
+// parameters p (p.Window is ignored). The search probes O(log n)
+// windows serially, so it reuses one engine scratch context throughout.
 func EquivalentWindow(s *machine.Suite, p machine.Params, target int64) (window int, ok bool, err error) {
+	sim := engine.NewSim()
 	return EquivalentWindowFunc(func(w int) (int64, error) {
 		q := p
 		q.Window = w
-		r, err := s.RunSWSM(q)
+		r, err := s.RunSWSMWith(sim, q)
 		if err != nil {
 			return 0, err
 		}
@@ -118,14 +121,15 @@ func EquivalentWindowRatio(s *machine.Suite, p machine.Params) (ratio float64, o
 // and ok=false if no such window exists in the sweep. This locates the
 // paper's MD=0 cutoff points.
 func Crossover(s *machine.Suite, p machine.Params, windows []int) (window int, ok bool, err error) {
+	sim := engine.NewSim()
 	for _, w := range windows {
 		q := p
 		q.Window = w
-		dm, err := s.RunDM(q)
+		dm, err := s.RunDMWith(sim, q)
 		if err != nil {
 			return 0, false, err
 		}
-		sw, err := s.RunSWSM(q)
+		sw, err := s.RunSWSMWith(sim, q)
 		if err != nil {
 			return 0, false, err
 		}

@@ -44,6 +44,13 @@ func NewRunner(s *machine.Suite) *Runner {
 
 // Run executes one point, consulting the cache.
 func (r *Runner) Run(pt Point) (*engine.Result, error) {
+	return r.RunWith(nil, pt)
+}
+
+// RunWith executes one point on sim's reusable scratch (nil draws from
+// the engine's shared pool), consulting the cache. Cached Results are
+// shared between callers and must not be mutated.
+func (r *Runner) RunWith(sim *engine.Sim, pt Point) (*engine.Result, error) {
 	cacheable := pt.P.Mem == nil
 	var k key
 	if cacheable {
@@ -55,7 +62,7 @@ func (r *Runner) Run(pt Point) (*engine.Result, error) {
 		}
 		r.mu.Unlock()
 	}
-	res, err := r.Suite.Run(pt.Kind, pt.P)
+	res, err := r.Suite.RunWith(sim, pt.Kind, pt.P)
 	if err != nil {
 		return nil, err
 	}
@@ -79,8 +86,9 @@ func (r *Runner) RunAll(pts []Point) ([]*engine.Result, error) {
 	}
 	if par <= 1 {
 		out := make([]*engine.Result, len(pts))
+		sim := engine.NewSim()
 		for i, pt := range pts {
-			res, err := r.Run(pt)
+			res, err := r.RunWith(sim, pt)
 			if err != nil {
 				return nil, fmt.Errorf("sweep: point %d: %w", i, err)
 			}
@@ -96,8 +104,11 @@ func (r *Runner) RunAll(pts []Point) ([]*engine.Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One scratch context per worker: runs on this goroutine
+			// reuse state without contending on the shared pool.
+			sim := engine.NewSim()
 			for i := range work {
-				res, err := r.Run(pts[i])
+				res, err := r.RunWith(sim, pts[i])
 				out[i], errs[i] = res, err
 			}
 		}()
