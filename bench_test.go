@@ -211,11 +211,14 @@ func BenchmarkAblationSplit(b *testing.B) {
 }
 
 // BenchmarkEquivalentWindowSearch measures one Figure 7-9 search step:
-// finding the SWSM window matching a DM configuration.
+// finding the SWSM window matching a DM configuration. A fresh Runner
+// per iteration keeps the measurement honest: nothing is memoized across
+// iterations, so the number reflects a full cold search.
 func BenchmarkEquivalentWindowSearch(b *testing.B) {
 	flo, _ := suites(b)
 	for i := 0; i < b.N; i++ {
-		if _, _, err := daesim.EquivalentWindowRatio(flo, daesim.Params{Window: 50, MD: 60}); err != nil {
+		r := daesim.NewRunner(flo)
+		if _, _, err := daesim.EquivalentWindowRatio(r, daesim.Params{Window: 50, MD: 60}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,40 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, so CI can archive benchmark
+// results (BENCH_engine.json) and the perf trajectory is diffable across
+// PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkEngine -benchmem . | benchjson > BENCH_engine.json
+//
+// Standard metrics (ns/op, B/op, allocs/op, MB/s) get stable JSON field
+// names; custom -ReportMetric units (e.g. Mops/s) are collected under
+// "metrics" keyed by unit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"daesim/internal/benchparse"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer) error {
+	doc, err := benchparse.Parse(bufio.NewReader(in))
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	repro [-out results] [-scale 1] [-exp all|table1|fig4|fig5|fig6|fig7|fig8|fig9|cutoffs|bigwindow|esw|ablations]
+//	repro [-out results] [-scale 1] [-par 0] [-exp all|table1|fig4|fig5|fig6|fig7|fig8|fig9|cutoffs|bigwindow|esw|ablations]
 package main
 
 import (
@@ -18,10 +18,12 @@ func main() {
 	out := flag.String("out", "results", "output directory")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	exp := flag.String("exp", "all", "experiment to run: all, table1, fig4..fig9, cutoffs, bigwindow, esw, ablations, expansion, policies, retire, cache, complexity")
+	par := flag.Int("par", 0, "max concurrent simulations per sweep and search (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	ctx := experiments.NewContext()
 	ctx.Scale = *scale
+	ctx.Parallelism = *par
 
 	if err := run(ctx, *exp, *out); err != nil {
 		fmt.Fprintf(os.Stderr, "repro: %v\n", err)

@@ -31,6 +31,7 @@ import (
 	"daesim/internal/memsys"
 	"daesim/internal/metrics"
 	"daesim/internal/partition"
+	"daesim/internal/sweep"
 	"daesim/internal/trace"
 	"daesim/internal/workloads"
 )
@@ -120,6 +121,25 @@ func SerialCycles(tr *Trace, tm Timing) int64 { return machine.SerialCycles(tr, 
 // differential.
 func DefaultTiming(md int) Timing { return isa.DefaultTiming(md) }
 
+// Sweeping and searching. A Runner executes simulation points against
+// one suite, in parallel, memoizing results so overlapping sweeps do not
+// re-simulate; a Search runs the speculative-parallel equivalent-window
+// and crossover searches against a Runner on a warm scratch pool.
+type (
+	// Runner is a parallel, memoizing simulation executor for one Suite.
+	Runner = sweep.Runner
+	// Search runs equivalent-window and crossover searches against a
+	// Runner (see NewSearch).
+	Search = metrics.Search
+)
+
+// NewRunner returns a memoizing Runner for the suite.
+func NewRunner(s *Suite) *Runner { return sweep.NewRunner(s) }
+
+// NewSearch returns a Search against the runner. Hold one per sweep so
+// its per-worker scratch contexts stay warm across search points.
+func NewSearch(r *Runner) *Search { return metrics.NewSearch(r) }
+
 // Metrics.
 var (
 	// Speedup returns serial/actual.
@@ -127,7 +147,7 @@ var (
 	// LHE returns the latency-hiding effectiveness T_perfect/T_actual.
 	LHE = metrics.LHE
 	// EquivalentWindow returns the smallest SWSM window matching a target
-	// time.
+	// time, probing through the runner's cache.
 	EquivalentWindow = metrics.EquivalentWindow
 	// EquivalentWindowRatio runs the DM and reports the SWSM/DM window
 	// ratio of Figures 7-9.

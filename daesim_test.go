@@ -115,7 +115,7 @@ func TestEquivalentWindowThroughPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ratio, ok, err := daesim.EquivalentWindowRatio(suite, daesim.Params{Window: 50, MD: 60})
+	ratio, ok, err := daesim.EquivalentWindowRatio(daesim.NewRunner(suite), daesim.Params{Window: 50, MD: 60})
 	if err != nil {
 		t.Fatal(err)
 	}

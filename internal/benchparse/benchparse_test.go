@@ -1,0 +1,63 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: daesim
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkEngineDM               	     541	   4455410 ns/op	        18.58 Mops/s	    1616 B/op	       7 allocs/op
+BenchmarkEngineSWSM-8           	     531	   4387675 ns/op	    1432 B/op	       6 allocs/op
+BenchmarkEquivalentWindowSearch 	      24	 101529290 ns/op
+PASS
+ok  	daesim	14.060s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "daesim" {
+		t.Fatalf("header wrong: %+v", doc)
+	}
+	if !strings.Contains(doc.CPU, "Xeon") {
+		t.Fatalf("cpu wrong: %q", doc.CPU)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	dm := doc.Benchmarks[0]
+	if dm.Name != "EngineDM" || dm.Iterations != 541 || dm.NsPerOp != 4455410 {
+		t.Fatalf("EngineDM wrong: %+v", dm)
+	}
+	if dm.Metrics["Mops/s"] != 18.58 {
+		t.Fatalf("custom metric wrong: %+v", dm.Metrics)
+	}
+	if dm.AllocsPerOp == nil || *dm.AllocsPerOp != 7 || dm.BytesPerOp == nil || *dm.BytesPerOp != 1616 {
+		t.Fatalf("benchmem fields wrong: %+v", dm)
+	}
+	sw := doc.Benchmarks[1]
+	if sw.Name != "EngineSWSM" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", sw.Name)
+	}
+	search := doc.Benchmarks[2]
+	if search.Name != "EquivalentWindowSearch" || search.AllocsPerOp != nil || len(search.Metrics) != 0 {
+		t.Fatalf("plain line wrong: %+v", search)
+	}
+}
+
+func TestParseSkipsGarbage(t *testing.T) {
+	doc, err := Parse(strings.NewReader("hello\nBenchmarkBroken 12 abc ns/op\nBenchmarkOdd 5 1 ns/op trailing\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BenchmarkBroken parses with no metrics (abc unparseable);
+	// BenchmarkOdd has an odd field count and is skipped.
+	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].Name != "Broken" || doc.Benchmarks[0].NsPerOp != 0 {
+		t.Fatalf("unexpected: %+v", doc.Benchmarks)
+	}
+}

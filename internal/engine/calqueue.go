@@ -1,5 +1,7 @@
 package engine
 
+import "math/bits"
+
 // The event queue is an indexed calendar queue (timing wheel): a
 // power-of-two ring of per-cycle buckets covering [now, now+len) plus a
 // min-heap overflow for events beyond the horizon. Scheduling and firing
@@ -10,10 +12,16 @@ package engine
 // arbitrarily) spill to the overflow heap and migrate into the wheel as
 // time advances.
 //
+// Nonempty slots are tracked in a bitmap (one bit per slot). The idle
+// fast-forward scans the bitmap in ring order with TrailingZeros64 —
+// a handful of word reads for the whole wheel — replacing the earlier
+// candidate-time min-heap whose push/pop dominated the advance path.
+//
 // Invariants:
 //   - every scheduled time is strictly in the future of the cycle that
 //     scheduled it, and the wheel only holds times in (now, now+len), so
 //     a nonempty bucket's time is unambiguous (no wrap-around aliasing);
+//   - a slot's bit is set iff its bucket is nonempty;
 //   - drain(now) has been called before fire/nextAfter at cycle `now`,
 //     so the overflow heap's minimum is always >= now+len and every
 //     in-horizon event is in the wheel.
@@ -95,11 +103,9 @@ const (
 type calQueue struct {
 	slots []evBucket
 	mask  int64
-	// times holds candidate nonempty-bucket times for the idle
-	// fast-forward; entries go stale once their bucket fires and are
-	// lazily discarded by nextAfter.
-	times int64Heap
-	far   farHeap
+	// bits[w] bit b set iff slots[w*64+b] is nonempty.
+	bits []uint64
+	far  farHeap
 }
 
 // reset prepares the queue for a run whose in-wheel events span at most
@@ -111,23 +117,25 @@ func (q *calQueue) reset(horizon int64) {
 	}
 	if int64(len(q.slots)) != size {
 		q.slots = make([]evBucket, size)
+		q.bits = make([]uint64, size/64)
 	} else {
 		for i := range q.slots {
 			q.slots[i].comps = q.slots[i].comps[:0]
 			q.slots[i].fills = q.slots[i].fills[:0]
 		}
+		clear(q.bits)
 	}
 	q.mask = size - 1
-	q.times.reset()
 	q.far.reset()
 }
 
 // put inserts op i into the in-horizon bucket at time t.
 func (q *calQueue) put(t int64, i int32, fill bool) {
-	b := &q.slots[t&q.mask]
+	slot := t & q.mask
+	b := &q.slots[slot]
 	if b.empty() {
 		b.time = t
-		q.times.push(t)
+		q.bits[slot>>6] |= 1 << uint(slot&63)
 	}
 	if fill {
 		b.fills = append(b.fills, i)
@@ -156,7 +164,7 @@ func (q *calQueue) drain(now int64) {
 }
 
 // fire returns the bucket due at `now`, or nil if none. The caller must
-// process and then clear it with clearBucket.
+// process and then release it with clearBucket.
 func (q *calQueue) fire(now int64) *evBucket {
 	b := &q.slots[now&q.mask]
 	if b.time == now && !b.empty() {
@@ -165,24 +173,37 @@ func (q *calQueue) fire(now int64) *evBucket {
 	return nil
 }
 
-func clearBucket(b *evBucket) {
+// clearBucket empties a fired bucket and clears its nonempty bit.
+func (q *calQueue) clearBucket(b *evBucket) {
 	b.comps = b.comps[:0]
 	b.fills = b.fills[:0]
+	slot := b.time & q.mask
+	q.bits[slot>>6] &^= 1 << uint(slot&63)
 }
 
 // nextAfter returns the earliest pending event time strictly after `now`,
 // or -1 if no events are pending. drain(now) must have run, so any valid
-// wheel time is closer than the overflow minimum.
+// wheel time is closer than the overflow minimum. The bitmap scan visits
+// slots in ring order starting just after `now`; because every wheel time
+// lies in (now, now+len), ring distance equals time distance and the
+// first set bit is the earliest event.
 func (q *calQueue) nextAfter(now int64) int64 {
-	for !q.times.empty() {
-		t := q.times.peek()
-		if t > now {
-			b := &q.slots[t&q.mask]
-			if b.time == t && !b.empty() {
-				return t
-			}
+	words := len(q.bits)
+	start := int((now + 1) & q.mask)
+	w := start >> 6
+	// Mask off bits below the start slot; they wrap to the end of the
+	// scan and are re-examined in the final full-word pass.
+	word := q.bits[w] &^ (1<<uint(start&63) - 1)
+	for k := 0; k <= words; k++ {
+		if word != 0 {
+			slot := w<<6 + bits.TrailingZeros64(word)
+			return q.slots[slot].time
 		}
-		q.times.pop() // fired or stale
+		w++
+		if w == words {
+			w = 0
+		}
+		word = q.bits[w]
 	}
 	if !q.far.empty() {
 		return q.far.min()

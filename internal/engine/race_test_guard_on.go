@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector is active; the
+// alloc-count regression tests skip under it (the race runtime
+// instruments allocations and inflates the counts).
+const raceEnabled = true

@@ -1,16 +1,51 @@
 package engine
 
 // referenceRun is the seed engine's map-and-heap event loop, kept
-// verbatim as a differential-testing oracle for the calendar-queue
-// engine in sim.go. Its per-run allocation behaviour is terrible — that
-// is why it was replaced — but its semantics define the engine: Sim.Run
-// must produce bit-identical Results (see TestCalendarQueueMatchesReference).
+// verbatim as a differential-testing oracle for the calendar-queue,
+// structure-of-arrays engine in sim.go. Its per-run allocation behaviour
+// is terrible — that is why it was replaced — but its semantics define
+// the engine: Sim.Run must produce bit-identical Results (see
+// TestCalendarQueueMatchesReference). It deliberately shares no derived
+// program state with the SoA engine: the dependence adjacency is rebuilt
+// here from the authored Op structs, so a mistake in the CSR flattening
+// cannot cancel out of the comparison.
 
 import (
 	"fmt"
 
 	"daesim/internal/isa"
 )
+
+// refAdjacency is the seed engine's array-of-slices dependence structure,
+// rebuilt from p.Ops independently of the Program's CSR slabs.
+type refAdjacency struct {
+	streams   [][]int32 // per-unit op indices, program order
+	consPlain [][]int32 // completion-edge consumers per op
+	consFill  [][]int32 // fill-edge consumers per op (sends only)
+	nDeps     []int32   // static dependence count per op
+}
+
+func refAdjacencyOf(p *Program) *refAdjacency {
+	a := &refAdjacency{
+		streams:   make([][]int32, p.NumUnits),
+		consPlain: make([][]int32, len(p.Ops)),
+		consFill:  make([][]int32, len(p.Ops)),
+		nDeps:     make([]int32, len(p.Ops)),
+	}
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		for _, s := range op.Srcs {
+			a.consPlain[s] = append(a.consPlain[s], int32(i))
+			a.nDeps[i]++
+		}
+		if op.Kind.IsConsume() {
+			a.consFill[op.MemSrc] = append(a.consFill[op.MemSrc], int32(i))
+			a.nDeps[i]++
+		}
+		a.streams[op.Unit] = append(a.streams[op.Unit], int32(i))
+	}
+	return a
+}
 
 // refBucket collects the events that fire at one cycle.
 type refBucket struct {
@@ -52,9 +87,10 @@ func referenceRun(p *Program, cfg Config) (*Result, error) {
 	}
 	md := int64(cfg.Timing.MD)
 
+	adj := refAdjacencyOf(p)
 	state := make([]uint8, n)
 	pending := make([]int32, n)
-	copy(pending, p.nDeps)
+	copy(pending, adj.nDeps)
 
 	cores := make([]*refCoreRun, p.NumUnits)
 	for u := range cores {
@@ -69,7 +105,7 @@ func referenceRun(p *Program, cfg Config) (*Result, error) {
 		}
 		cores[u] = &refCoreRun{
 			cfg:      cc,
-			stream:   p.streams[u],
+			stream:   adj.streams[u],
 			window:   window,
 			lastOrig: -1,
 		}
@@ -112,7 +148,7 @@ func referenceRun(p *Program, cfg Config) (*Result, error) {
 					c.touch(cycle)
 					c.occ--
 				}
-				for _, consumer := range p.consPlain[i] {
+				for _, consumer := range adj.consPlain[i] {
 					wake(consumer)
 				}
 			}
@@ -127,7 +163,7 @@ func referenceRun(p *Program, cfg Config) (*Result, error) {
 			}
 			for _, i := range b.fills {
 				inflight--
-				for _, consumer := range p.consFill[i] {
+				for _, consumer := range adj.consFill[i] {
 					wake(consumer)
 				}
 			}
@@ -174,7 +210,7 @@ func referenceRun(p *Program, cfg Config) (*Result, error) {
 						}
 					}
 					res.Fills++
-					if len(p.consFill[i]) > 0 || cfg.Mem != nil {
+					if len(adj.consFill[i]) > 0 || cfg.Mem != nil {
 						inflight++
 						if inflight > maxInflight {
 							maxInflight = inflight

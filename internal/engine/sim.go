@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"math/bits"
+	"slices"
 
 	"daesim/internal/isa"
 )
@@ -19,6 +21,8 @@ type Sim struct {
 	pending []int32
 	cores   []coreRun
 	cq      calQueue
+	// lat caches cfg.Timing.Latency per op kind for the current run.
+	lat [isa.NumOpKinds]int64
 }
 
 // NewSim returns an empty simulation context. Scratch buffers grow on
@@ -26,22 +30,55 @@ type Sim struct {
 func NewSim() *Sim { return &Sim{} }
 
 type coreRun struct {
-	cfg       isa.CoreConfig
-	stream    []int32
-	next      int // dispatch frontier within stream
-	occ       int
-	window    int // effective window (large number when unlimited)
-	ready     i32Heap
-	oldestPtr int // lazy pointer to oldest possibly-in-flight stream position
-	retirePtr int // in-order retirement frontier (RetireInOrder only)
-	lastOrig  int32
-	stats     CoreStats
-	lastTouch int64
+	cfg    isa.CoreConfig
+	stream []int32
+	next   int // dispatch frontier within stream
+	occ    int
+	window int // effective window (large number when unlimited)
+	// wide marks a core whose issue width can never bind (width >= every
+	// possible ready-set size). Its ready structure is then a plain
+	// unordered list drained whole each cycle — no ordering work at all.
+	wide bool
+	// readyList is the wide-core ready set (insertion order).
+	readyList []int32
+	// readyBits is the narrow-core ready set: one bit per stream
+	// position. Oldest-first selection is a TrailingZeros64 scan from
+	// issueFrontier — within one core's stream, position order equals op
+	// index order, so the scan pops exactly what a min-heap would,
+	// without sift traffic.
+	readyBits  []uint64
+	readyCount int
+	// issueFrontier is the oldest stream position whose bit could still
+	// be set (everything below is issued or done); it only advances.
+	issueFrontier int
+	oldestPtr     int // lazy pointer to oldest possibly-in-flight stream position
+	retirePtr     int // in-order retirement frontier (RetireInOrder only)
+	lastOrig      int32
+	stats         CoreStats
+	lastTouch     int64
 }
 
 func (c *coreRun) touch(cycle int64) {
 	c.stats.OccIntegral += int64(c.occ) * (cycle - c.lastTouch)
 	c.lastTouch = cycle
+}
+
+// enqueue marks the op at stream position pos ready for issue.
+func (c *coreRun) enqueue(i int32, pos int32) {
+	if c.wide {
+		c.readyList = append(c.readyList, i)
+		return
+	}
+	c.readyBits[pos>>6] |= 1 << uint(pos&63)
+	c.readyCount++
+}
+
+// readyEmpty reports whether no op is ready to issue.
+func (c *coreRun) readyEmpty() bool {
+	if c.wide {
+		return len(c.readyList) == 0
+	}
+	return c.readyCount == 0
 }
 
 const histCap = 32
@@ -78,15 +115,31 @@ func (s *Sim) reset(p *Program, cfg Config) {
 			hist = histCap
 		}
 		c := &s.cores[u]
-		ready := c.ready
-		ready.reset()
+		readyList := c.readyList[:0]
+		readyBits := c.readyBits
+		stream := p.Stream(isa.Unit(u))
+		// The ready set can never exceed min(window occupancy, stream
+		// length), so a width at or above that bound issues every ready
+		// op every cycle and ordering becomes irrelevant.
+		wide := cc.IssueWidth >= window || cc.IssueWidth >= len(stream)
+		if !wide {
+			words := (len(stream) + 63) / 64
+			if cap(readyBits) < words {
+				readyBits = make([]uint64, words)
+			} else {
+				readyBits = readyBits[:words]
+				clear(readyBits)
+			}
+		}
 		// IssueHist escapes with the Result, so it must be fresh each run.
 		*c = coreRun{
-			cfg:      cc,
-			stream:   p.streams[u],
-			window:   window,
-			ready:    ready,
-			lastOrig: -1,
+			cfg:       cc,
+			stream:    stream,
+			window:    window,
+			wide:      wide,
+			readyList: readyList,
+			readyBits: readyBits,
+			lastOrig:  -1,
 		}
 		c.stats.IssueHist = make([]int64, hist)
 	}
@@ -100,13 +153,17 @@ func (s *Sim) reset(p *Program, cfg Config) {
 	}
 	// +2 covers the completion cycle and the fill's sent->arrive hop.
 	s.cq.reset(int64(maxLat) + int64(cfg.Timing.MD) + 2)
+
+	for k := range s.lat {
+		s.lat[k] = int64(cfg.Timing.Latency(isa.OpKind(k)))
+	}
 }
 
 // wake delivers one dependence edge to op i.
 func (s *Sim) wake(p *Program, i int32) {
 	s.pending[i]--
 	if s.pending[i] == 0 && s.state[i] == stInWindow {
-		s.cores[p.Ops[i].Unit].ready.push(i)
+		s.cores[p.units[i]].enqueue(i, p.posInStream[i])
 	}
 }
 
@@ -119,7 +176,9 @@ func (s *Sim) wake(p *Program, i int32) {
 // jumping over idle stretches via the calendar queue. Event order within
 // a cycle never affects the outcome: completions and fills only
 // decrement dependence counters and push onto the ready min-heaps, and
-// the heaps order issue by op index alone.
+// the heaps order issue by op index alone. Wide cores (issue width never
+// binding) drain an unordered ready list instead — every ready op issues
+// that cycle, so order is again irrelevant.
 func (s *Sim) Run(p *Program, cfg Config) (*Result, error) {
 	if err := cfg.Validate(p); err != nil {
 		return nil, err
@@ -133,6 +192,7 @@ func (s *Sim) Run(p *Program, cfg Config) (*Result, error) {
 		cfg.Mem.Reset()
 	}
 	md := int64(cfg.Timing.MD)
+	memOrdered := cfg.Mem != nil
 	s.reset(p, cfg)
 	cores := s.cores
 
@@ -150,11 +210,11 @@ func (s *Sim) Run(p *Program, cfg Config) (*Result, error) {
 				s.state[i] = stDone
 				completed++
 				if !cfg.RetireInOrder {
-					c := &cores[p.Ops[i].Unit]
+					c := &cores[p.units[i]]
 					c.touch(cycle)
 					c.occ--
 				}
-				for _, consumer := range p.consPlain[i] {
+				for _, consumer := range p.plainConsumers(i) {
 					s.wake(p, consumer)
 				}
 			}
@@ -172,56 +232,115 @@ func (s *Sim) Run(p *Program, cfg Config) (*Result, error) {
 			}
 			for _, i := range b.fills {
 				inflight--
-				for _, consumer := range p.consFill[i] {
+				for _, consumer := range p.fillConsumers(i) {
 					s.wake(p, consumer)
 				}
 			}
-			clearBucket(b)
+			s.cq.clearBucket(b)
 		}
 
-		// 2. Dispatch in program order, per core.
+		// 2. Dispatch in program order, per core (batched: the admission
+		// count is known up front, so the window/stream bounds are checked
+		// once instead of per op).
 		for u := range cores {
 			c := &cores[u]
-			dw := c.cfg.EffectiveDispatch()
-			for k := 0; k < dw && c.occ < c.window && c.next < len(c.stream); k++ {
-				i := c.stream[c.next]
-				c.next++
-				c.touch(cycle)
-				c.occ++
-				if c.occ > c.stats.MaxOcc {
-					c.stats.MaxOcc = c.occ
-				}
+			k := c.cfg.EffectiveDispatch()
+			if avail := c.window - c.occ; k > avail {
+				k = avail
+			}
+			if rem := len(c.stream) - c.next; k > rem {
+				k = rem
+			}
+			if k <= 0 {
+				continue
+			}
+			c.touch(cycle)
+			base := c.next
+			for j := 0; j < k; j++ {
+				i := c.stream[base+j]
 				s.state[i] = stInWindow
-				c.lastOrig = p.Ops[i].Orig
 				if s.pending[i] == 0 {
-					c.ready.push(i)
+					c.enqueue(i, int32(base+j))
 				}
 			}
+			c.next = base + k
+			c.occ += k
+			if c.occ > c.stats.MaxOcc {
+				c.stats.MaxOcc = c.occ
+			}
+			c.lastOrig = p.origs[c.stream[c.next-1]]
 		}
 
-		// 3. Issue oldest-first, per core.
+		// 3. Issue oldest-first, per core. Wide cores drain the whole
+		// ready list (issued can index it because the width bound
+		// guarantees the loop never stops early); narrow cores scan the
+		// ready bitmap upward from the issue frontier, which pops ready
+		// ops in ascending position — identical to heap order.
 		for u := range cores {
 			c := &cores[u]
+			if c.wide && memOrdered && len(c.readyList) > 1 {
+				// A stateful memory model observes RequestFill/Consume call
+				// order, so the drain must visit ops in index order. (With
+				// the fixed differential every per-op effect depends only on
+				// the op and the cycle, so the unordered drain is already
+				// equivalent.)
+				slices.Sort(c.readyList)
+			}
+			scan := 0
+			if !c.wide && c.readyCount > 0 {
+				// Advance the frontier past ops that can never become ready
+				// again; amortized O(stream) over the whole run.
+				fr := c.issueFrontier
+				for fr < c.next && s.state[c.stream[fr]] >= stIssued {
+					fr++
+				}
+				c.issueFrontier = fr
+				scan = fr
+			}
 			issued := 0
-			for issued < c.cfg.IssueWidth && !c.ready.empty() {
-				i := c.ready.pop()
+			for issued < c.cfg.IssueWidth {
+				var i int32
+				if c.wide {
+					if issued == len(c.readyList) {
+						break
+					}
+					i = c.readyList[issued]
+				} else {
+					if c.readyCount == 0 {
+						break
+					}
+					// Next set bit at position >= scan; one exists because
+					// readyCount > 0 and all set bits are >= the frontier,
+					// ascending past prior pops (no bits are set mid-loop).
+					w := scan >> 6
+					word := c.readyBits[w] &^ (1<<uint(scan&63) - 1)
+					for word == 0 {
+						w++
+						word = c.readyBits[w]
+					}
+					pos := w<<6 + bits.TrailingZeros64(word)
+					c.readyBits[w] &^= 1 << uint(pos&63)
+					c.readyCount--
+					scan = pos + 1
+					i = c.stream[pos]
+				}
 				issued++
 				s.state[i] = stIssued
-				op := &p.Ops[i]
+				kind := p.kinds[i]
+				flag := p.flags[i]
 				c.stats.Issued++
-				c.stats.IssuedByKind[op.Kind]++
-				lat := int64(cfg.Timing.Latency(op.Kind))
-				done := cycle + lat
-				if op.Kind.IsSend() {
+				c.stats.IssuedByKind[kind]++
+				done := cycle + s.lat[kind]
+				if flag&opFlagSend != 0 {
 					arrive := done + md
 					if cfg.Mem != nil {
-						arrive = cfg.Mem.RequestFill(op.Addr, done)
+						arrive = cfg.Mem.RequestFill(p.addrs[i], done)
 						if arrive < done {
 							return nil, fmt.Errorf("engine: memory model returned arrival %d before send %d", arrive, done)
 						}
 					}
 					res.Fills++
-					if len(p.consFill[i]) > 0 || cfg.Mem != nil {
+					if flag&opFlagFillCons != 0 || cfg.Mem != nil {
 						inflight++
 						if inflight > maxInflight {
 							maxInflight = inflight
@@ -234,9 +353,12 @@ func (s *Sim) Run(p *Program, cfg Config) (*Result, error) {
 					}
 				}
 				s.cq.schedule(cycle, done, i, false)
-				if op.Kind.IsConsume() && cfg.Mem != nil {
-					cfg.Mem.Consume(op.Addr, cycle)
+				if flag&opFlagConsume != 0 && cfg.Mem != nil {
+					cfg.Mem.Consume(p.addrs[i], cycle)
 				}
+			}
+			if c.wide {
+				c.readyList = c.readyList[:0]
 			}
 			if issued > 0 {
 				c.stats.BusyCycles++
@@ -261,7 +383,7 @@ func (s *Sim) Run(p *Program, cfg Config) (*Result, error) {
 					c.oldestPtr++
 				}
 				if c.oldestPtr < c.next {
-					o := p.Ops[c.stream[c.oldestPtr]].Orig
+					o := p.origs[c.stream[c.oldestPtr]]
 					if oldest == -1 || o < oldest {
 						oldest = o
 					}
@@ -289,7 +411,7 @@ func (s *Sim) Run(p *Program, cfg Config) (*Result, error) {
 		progressNext := false
 		for u := range cores {
 			c := &cores[u]
-			if !c.ready.empty() || (c.next < len(c.stream) && c.occ < c.window) {
+			if !c.readyEmpty() || (c.next < len(c.stream) && c.occ < c.window) {
 				progressNext = true
 				break
 			}

@@ -16,7 +16,14 @@ func randomConfig(rng *rand.Rand, units int) Config {
 	cores := make([]isa.CoreConfig, units)
 	for i := range cores {
 		w := rng.Intn(20) // 0 = unlimited
-		cores[i] = isa.CoreConfig{Window: w, IssueWidth: 1 + rng.Intn(6)}
+		width := 1 + rng.Intn(6)
+		if rng.Intn(4) == 0 {
+			// Effectively unlimited width: exercises the wide fast path
+			// (unordered ready list drained whole) against the reference's
+			// heap-ordered issue.
+			width = 1 << 20
+		}
+		cores[i] = isa.CoreConfig{Window: w, IssueWidth: width}
 		if rng.Intn(4) == 0 {
 			cores[i].DispatchWidth = 1 + rng.Intn(6)
 		}
@@ -88,6 +95,45 @@ func TestFarEventOverflow(t *testing.T) {
 	}
 }
 
+// TestWidePathMatchesReference pins the wide (unlimited-issue-width) fast
+// path differentially on deterministic configurations: batched drain of
+// the unordered ready list must match the reference's heap-ordered issue
+// bit for bit, including under in-order retirement, finite windows with
+// width above the window (wide by the window bound), and a stateful
+// custom memory model.
+func TestWidePathMatchesReference(t *testing.T) {
+	progs := []*Program{twoUnitProgram(60), randomProgram(rand.New(rand.NewSource(42)), 200, 2)}
+	cores := func(w, width int) []isa.CoreConfig {
+		return []isa.CoreConfig{{Window: w, IssueWidth: width}, {Window: w, IssueWidth: width}}
+	}
+	cfgs := []Config{
+		// Unlimited window and width: pure batched dataflow issue.
+		{Timing: tm(60), Cores: cores(0, 1 << 20)},
+		// Finite window, width >= window: wide by the window bound.
+		{Timing: tm(30), Cores: cores(8, 8)},
+		// Wide plus in-order retirement.
+		{Timing: tm(60), Cores: cores(16, 1 << 20), RetireInOrder: true},
+		// Wide plus a stateful memory model and ESW sampling.
+		{Timing: tm(20), Cores: cores(12, 64), Mem: &delayMem{md: 35}, CollectESW: true},
+		// Wide core next to a narrow core (mixed heap/list paths).
+		{Timing: tm(40), Cores: []isa.CoreConfig{{Window: 10, IssueWidth: 1 << 20}, {Window: 10, IssueWidth: 2}}},
+		// Narrow everything, as a control for the harness itself.
+		{Timing: tm(50), Cores: cores(6, 2), RetireInOrder: true},
+	}
+	for _, p := range progs {
+		for ci, cfg := range cfgs {
+			got := mustRun(t, p, cfg)
+			want, err := referenceRun(p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s cfg %d: mismatch:\n engine:    %+v\n reference: %+v", p.Name, ci, got, want)
+			}
+		}
+	}
+}
+
 // TestSimRunsAreIdentical asserts the documented determinism guarantee
 // at full Result granularity: two runs of the same program and
 // configuration — on fresh and on warm scratch — are bit-identical.
@@ -116,6 +162,9 @@ func TestSimRunsAreIdentical(t *testing.T) {
 // scratch path: after warm-up, a run allocates only the Result it
 // returns (Result, Cores slice, per-core IssueHist).
 func TestSimReuseAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime inflates allocation counts")
+	}
 	p := twoUnitProgram(200)
 	cfg := Config{Timing: tm(60), Cores: []isa.CoreConfig{{Window: 64, IssueWidth: 4}, {Window: 64, IssueWidth: 5}}}
 	sim := NewSim()
@@ -134,6 +183,9 @@ func TestSimReuseAllocs(t *testing.T) {
 // TestPooledRunAllocs asserts the compatibility wrapper inherits the
 // reuse through the pool.
 func TestPooledRunAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime inflates allocation counts")
+	}
 	p := twoUnitProgram(200)
 	cfg := Config{Timing: tm(60), Cores: []isa.CoreConfig{{Window: 64, IssueWidth: 4}, {Window: 64, IssueWidth: 5}}}
 	avg := testing.AllocsPerRun(20, func() {

@@ -30,6 +30,9 @@ type Context struct {
 	Scale int
 	// Policy is the AU/DU partition policy (default Classic).
 	Policy partition.Policy
+	// Parallelism caps each workload runner's concurrent simulations and
+	// the equivalent-window search fan-out (0 = GOMAXPROCS).
+	Parallelism int
 
 	mu      sync.Mutex
 	runners map[string]*sweep.Runner
@@ -57,6 +60,7 @@ func (c *Context) Runner(name string) (*sweep.Runner, error) {
 		return nil, err
 	}
 	r := sweep.NewRunner(suite)
+	r.Parallelism = c.Parallelism
 	c.runners[name] = r
 	return r, nil
 }
@@ -202,25 +206,15 @@ func (c *Context) RatioFigure(name string) (*RatioResult, error) {
 		return nil, err
 	}
 	res := &RatioResult{Number: num, Workload: name, Saturated: map[int][]int{}}
-	sim := engine.NewSim()
+	// One Search for the whole figure: its scratch pool stays warm across
+	// every (md, window) point, its probes fan out across workers, and the
+	// Runner memoizes the DM anchors and SWSM probes, so the points that
+	// overlap other sweeps (or other curves of this figure) are free.
+	search := metrics.NewSearch(r)
 	for _, md := range RatioMDs {
 		s := sweep.Series{Name: fmt.Sprintf("md=%d", md)}
 		for _, w := range RatioWindows {
-			dm, err := r.RunWith(sim, sweep.Point{Kind: machine.DM, P: machine.Params{Window: w, MD: md}})
-			if err != nil {
-				return nil, err
-			}
-			// The SWSM search keeps the DM's MemQueue (scaled by the DM
-			// window) so both machines see the same memory subsystem.
-			queue := machine.QueueFactor * w
-			eq, ok, err := metrics.EquivalentWindowFunc(func(sw int) (int64, error) {
-				p := machine.Params{Window: sw, MD: md, MemQueue: queue}
-				rr, err := r.RunWith(sim, sweep.Point{Kind: machine.SWSM, P: p})
-				if err != nil {
-					return 0, err
-				}
-				return rr.Cycles, nil
-			}, dm.Cycles)
+			ratio, ok, err := search.EquivalentWindowRatio(machine.Params{Window: w, MD: md})
 			if err != nil {
 				return nil, err
 			}
@@ -229,7 +223,7 @@ func (c *Context) RatioFigure(name string) (*RatioResult, error) {
 				continue
 			}
 			s.X = append(s.X, float64(w))
-			s.Y = append(s.Y, float64(eq)/float64(w))
+			s.Y = append(s.Y, ratio)
 		}
 		res.Series = append(res.Series, s)
 	}

@@ -296,25 +296,18 @@ type ComplexityResult struct {
 func (c *Context) ComplexityStudy() (*ComplexityResult, error) {
 	res := &ComplexityResult{MD: ablationMD}
 	model := metrics.DefaultDelayModel
-	sim := engine.NewSim()
 	for _, name := range workloads.FigureNames() {
 		r, err := c.Runner(name)
 		if err != nil {
 			return nil, err
 		}
+		search := metrics.NewSearch(r)
 		for _, w := range []int{32, 64, 100} {
-			dm, err := r.RunWith(sim, sweep.Point{Kind: machine.DM, P: machine.Params{Window: w, MD: ablationMD}})
+			dm, err := r.Run(sweep.Point{Kind: machine.DM, P: machine.Params{Window: w, MD: ablationMD}})
 			if err != nil {
 				return nil, err
 			}
-			queue := machine.QueueFactor * w
-			eq, ok, err := metrics.EquivalentWindowFunc(func(sw int) (int64, error) {
-				rr, err := r.RunWith(sim, sweep.Point{Kind: machine.SWSM, P: machine.Params{Window: sw, MD: ablationMD, MemQueue: queue}})
-				if err != nil {
-					return 0, err
-				}
-				return rr.Cycles, nil
-			}, dm.Cycles)
+			eq, ok, err := search.EquivalentWindow(machine.Params{Window: w, MD: ablationMD, MemQueue: machine.QueueFactor * w}, dm.Cycles)
 			if err != nil {
 				return nil, err
 			}

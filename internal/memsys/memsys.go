@@ -109,21 +109,30 @@ func NewOutstanding(md int64, capacity int) (*Outstanding, error) {
 // RequestFill implements engine.MemModel.
 func (m *Outstanding) RequestFill(addr uint64, sent int64) int64 {
 	start := sent
-	// Retire fills that completed by now.
-	for m.n > 0 && m.ring[m.head] <= start {
-		m.head = (m.head + 1) % m.Cap
-		m.n--
+	head, n := m.head, m.n
+	// Retire fills that completed by now. Conditional wrap instead of
+	// modulo: this runs once per send on the simulator's hot path.
+	for n > 0 && m.ring[head] <= start {
+		if head++; head == m.Cap {
+			head = 0
+		}
+		n--
 	}
-	if m.n == m.Cap {
+	if n == m.Cap {
 		// Wait for the oldest in-flight fill.
-		start = m.ring[m.head]
-		m.head = (m.head + 1) % m.Cap
-		m.n--
+		start = m.ring[head]
+		if head++; head == m.Cap {
+			head = 0
+		}
+		n--
 	}
 	done := start + m.MD
-	tail := (m.head + m.n) % m.Cap
+	tail := head + n
+	if tail >= m.Cap {
+		tail -= m.Cap
+	}
 	m.ring[tail] = done
-	m.n++
+	m.head, m.n = head, n+1
 	return done
 }
 

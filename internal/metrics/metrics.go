@@ -2,13 +2,21 @@
 // the serial reference, latency-hiding effectiveness (LHE), the
 // equivalent window (the SWSM window matching a DM configuration) and
 // the MD=0 crossover window.
+//
+// The equivalent-window searches route every probe through a
+// sweep.Runner, so overlapping figure sweeps share memoized results, and
+// fan independent probes out across a bounded worker pool of
+// per-goroutine engine.Sim scratches (see Search).
 package metrics
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"daesim/internal/engine"
 	"daesim/internal/machine"
+	"daesim/internal/sweep"
 )
 
 // Speedup returns serial/actual; zero actual yields zero.
@@ -41,75 +49,307 @@ type RunFunc func(window int) (int64, error)
 // at most target cycles, exploiting monotonicity of time in window size.
 // ok is false if even MaxEquivalentWindow cannot reach the target.
 func EquivalentWindowFunc(run RunFunc, target int64) (window int, ok bool, err error) {
-	// Exponential probe for an upper bound.
-	lo, hi := 1, 1
-	for {
-		c, err := run(hi)
-		if err != nil {
-			return 0, false, err
-		}
-		if c <= target {
-			break
-		}
-		lo = hi + 1
-		hi *= 2
-		if hi > MaxEquivalentWindow {
-			c, err := run(MaxEquivalentWindow)
+	return searchFrom(run, target, 1)
+}
+
+// searchFrom is the serial search: probe the hint, then bracket by
+// exponential doubling upward (or binary refinement downward) and binary
+// search the bracket. With hint 1 it probes the exact sequence the
+// original from-scratch search did; a hint near the answer (e.g. the DM
+// window for a ratio search, whose result is almost always a small
+// multiple of it) skips the cold low-window rungs of the ladder, which
+// are also the slowest to simulate.
+func searchFrom(run RunFunc, target int64, hint int) (window int, ok bool, err error) {
+	h := hint
+	if h < 1 {
+		h = 1
+	}
+	if h > MaxEquivalentWindow {
+		h = MaxEquivalentWindow
+	}
+	c, err := run(h)
+	if err != nil {
+		return 0, false, err
+	}
+	// (wFail, cFail) is the largest window known to miss the target,
+	// (hi, cHi) the smallest known to meet it; both anchor the
+	// interpolation steps below.
+	var lo, hi int
+	wFail, cFail := 0, int64(-1)
+	var cHi int64
+	if c <= target {
+		lo, hi, cHi = 1, h, c
+	} else {
+		wFail, cFail = h, c
+		// Exponential probe upward for an upper bound.
+		lo, hi = h+1, 2*h
+		for {
+			if hi >= MaxEquivalentWindow {
+				c, err := run(MaxEquivalentWindow)
+				if err != nil {
+					return 0, false, err
+				}
+				if c > target {
+					return MaxEquivalentWindow, false, nil
+				}
+				hi, cHi = MaxEquivalentWindow, c
+				break
+			}
+			c, err := run(hi)
 			if err != nil {
 				return 0, false, err
 			}
-			if c > target {
-				return MaxEquivalentWindow, false, nil
+			if c <= target {
+				cHi = c
+				break
 			}
-			hi = MaxEquivalentWindow
-			break
+			lo = hi + 1
+			wFail, cFail = hi, c
+			hi *= 2
 		}
 	}
-	// Binary search in (lo-1, hi].
-	for lo < hi {
+	// Refine [lo, hi]; hi is known to meet the target. Steps alternate
+	// between interpolating the boundary from the bracket anchors (time
+	// is near-smooth in window size, so the secant estimate usually lands
+	// within a few slots of the answer) and plain bisection, which caps
+	// the worst case at 2x the probes of pure binary search.
+	for step := 0; lo < hi; step++ {
 		mid := (lo + hi) / 2
+		if step%2 == 0 && cFail > cHi && cFail > target {
+			est := float64(wFail) + float64(cFail-target)/float64(cFail-cHi)*float64(hi-wFail)
+			if m := int(est); m >= lo && m < hi {
+				mid = m
+			}
+		}
 		c, err := run(mid)
 		if err != nil {
 			return 0, false, err
 		}
 		if c <= target {
-			hi = mid
+			hi, cHi = mid, c
 		} else {
 			lo = mid + 1
+			wFail, cFail = mid, c
 		}
 	}
 	return hi, true, nil
 }
 
-// EquivalentWindow is EquivalentWindowFunc against the suite's SWSM with
-// parameters p (p.Window is ignored). The search probes O(log n)
-// windows serially, so it reuses one engine scratch context throughout.
-func EquivalentWindow(s *machine.Suite, p machine.Params, target int64) (window int, ok bool, err error) {
-	sim := engine.NewSim()
-	return EquivalentWindowFunc(func(w int) (int64, error) {
-		q := p
-		q.Window = w
-		r, err := s.RunSWSMWith(sim, q)
-		if err != nil {
-			return 0, err
+// Search runs equivalent-window and crossover searches against one
+// sweep.Runner. It owns a pool of per-goroutine engine.Sim scratch
+// contexts that stay warm across calls, so a figure sweep of many search
+// points does not cold-start scratch on every point, and its probes are
+// memoized by the Runner, so overlapping sweeps (WindowSweep curves, the
+// other MD curves of a ratio figure) share results.
+//
+// When Parallelism (or the Runner's) exceeds one, the search is
+// speculative-parallel: the exponential bracket ladder is evaluated
+// concurrently in one wave, and each binary-search layer probes several
+// interior points at once (k-section), trading redundant simulations for
+// wall-clock depth. Points carrying a custom Params.Mem fall back to the
+// serial path: stateful memory models are not safe to probe concurrently.
+//
+// A Search is not safe for concurrent use by multiple goroutines; it
+// parallelizes internally.
+type Search struct {
+	// Runner executes and memoizes the probes.
+	Runner *sweep.Runner
+	// Parallelism bounds the probe fan-out (0: the Runner's Parallelism,
+	// else GOMAXPROCS).
+	Parallelism int
+
+	sims []*engine.Sim
+}
+
+// NewSearch returns a Search against the runner.
+func NewSearch(r *sweep.Runner) *Search { return &Search{Runner: r} }
+
+func (s *Search) par() int {
+	if s.Parallelism > 0 {
+		return s.Parallelism
+	}
+	if s.Runner != nil && s.Runner.Parallelism > 0 {
+		return s.Runner.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// sim returns the i'th warm scratch context, growing the pool on demand.
+func (s *Search) sim(i int) *engine.Sim {
+	for len(s.sims) <= i {
+		s.sims = append(s.sims, engine.NewSim())
+	}
+	return s.sims[i]
+}
+
+// probe runs the SWSM at window w on the given scratch, memoized.
+func (s *Search) probe(sim *engine.Sim, p machine.Params, w int) (int64, error) {
+	q := p
+	q.Window = w
+	r, err := s.Runner.RunWith(sim, sweep.Point{Kind: machine.SWSM, P: q})
+	if err != nil {
+		return 0, err
+	}
+	return r.Cycles, nil
+}
+
+// evalBatch evaluates the SWSM time at every window in ws, fanning the
+// probes across the worker pool. Each worker owns one scratch context.
+func (s *Search) evalBatch(p machine.Params, ws []int) ([]int64, error) {
+	times := make([]int64, len(ws))
+	par := s.par()
+	if par > len(ws) {
+		par = len(ws)
+	}
+	if par <= 1 || p.Mem != nil {
+		sim := s.sim(0)
+		for i, w := range ws {
+			t, err := s.probe(sim, p, w)
+			if err != nil {
+				return nil, err
+			}
+			times[i] = t
 		}
-		return r.Cycles, nil
-	}, target)
+		return times, nil
+	}
+	errs := make([]error, par)
+	var wg sync.WaitGroup
+	for g := 0; g < par; g++ {
+		sim := s.sim(g)
+		wg.Add(1)
+		go func(g int, sim *engine.Sim) {
+			defer wg.Done()
+			for i := g; i < len(ws); i += par {
+				t, err := s.probe(sim, p, ws[i])
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				times[i] = t
+			}
+		}(g, sim)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return times, nil
+}
+
+// EquivalentWindow returns the smallest SWSM window (running the suite
+// under p with p.Window replaced by the candidate) whose time is at most
+// target cycles. p.Window, when positive, seeds the bracket: the search
+// probes it first and expands or refines from there. ok is false if even
+// MaxEquivalentWindow cannot reach the target.
+//
+// Minimality holds under monotonicity of time in window size, which the
+// engine satisfies up to small Graham anomalies (DESIGN.md §3). Inside
+// an anomaly wobble band the boundary is ambiguous, and the returned
+// window can depend on the probe path — the hint and the Parallelism —
+// though it always satisfies t(w) <= target < t(w-1).
+func (s *Search) EquivalentWindow(p machine.Params, target int64) (window int, ok bool, err error) {
+	hint := p.Window
+	if hint < 1 {
+		hint = 1
+	}
+	if hint > MaxEquivalentWindow {
+		hint = MaxEquivalentWindow
+	}
+	if s.par() <= 1 || p.Mem != nil {
+		sim := s.sim(0)
+		return searchFrom(func(w int) (int64, error) { return s.probe(sim, p, w) }, target, hint)
+	}
+
+	// Speculative ladder: the hint and its doublings up to the cap, all
+	// probed in one parallel wave.
+	ladder := []int{hint}
+	for w := 2 * hint; w < MaxEquivalentWindow; w *= 2 {
+		ladder = append(ladder, w)
+	}
+	if ladder[len(ladder)-1] != MaxEquivalentWindow {
+		ladder = append(ladder, MaxEquivalentWindow)
+	}
+	times, err := s.evalBatch(p, ladder)
+	if err != nil {
+		return 0, false, err
+	}
+	first := -1
+	for i, t := range times {
+		if t <= target {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return MaxEquivalentWindow, false, nil
+	}
+	lo, hi := 1, ladder[first]
+	if first > 0 {
+		lo = ladder[first-1] + 1
+	}
+
+	// k-section: each layer probes up to par interior points at once,
+	// shrinking [lo, hi] by a factor of par+1 per wave instead of 2.
+	for lo < hi {
+		span := hi - lo
+		m := s.par()
+		if m > span {
+			m = span
+		}
+		xs := make([]int, 0, m)
+		for j := 1; j <= m; j++ {
+			x := lo + j*span/(m+1)
+			if len(xs) == 0 || x > xs[len(xs)-1] {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			xs = append(xs, lo+span/2)
+		}
+		times, err := s.evalBatch(p, xs)
+		if err != nil {
+			return 0, false, err
+		}
+		firstGood := -1
+		for i, t := range times {
+			if t <= target {
+				firstGood = i
+				break
+			}
+		}
+		switch {
+		case firstGood < 0:
+			lo = xs[len(xs)-1] + 1
+		case firstGood == 0:
+			hi = xs[0]
+		default:
+			lo, hi = xs[firstGood-1]+1, xs[firstGood]
+		}
+	}
+	return hi, true, nil
 }
 
 // EquivalentWindowRatio runs the DM at p and returns the ratio of the
 // equivalent SWSM window to the DM (per-unit) window — the quantity of
-// Figures 7-9. ok is false when the SWSM cannot match the DM within
-// MaxEquivalentWindow.
-func EquivalentWindowRatio(s *machine.Suite, p machine.Params) (ratio float64, ok bool, err error) {
+// Figures 7-9. The SWSM probes keep the DM's memory-queue capacity
+// (QueueFactor x the DM window) so both machines see the same memory
+// subsystem; an explicit p.MemQueue or p.Mem is used as given. ok is
+// false when the SWSM cannot match the DM within MaxEquivalentWindow.
+func (s *Search) EquivalentWindowRatio(p machine.Params) (ratio float64, ok bool, err error) {
 	if p.Window <= 0 {
 		return 0, false, fmt.Errorf("metrics: equivalent window ratio needs a finite DM window")
 	}
-	dm, err := s.RunDM(p)
+	dm, err := s.Runner.RunWith(s.sim(0), sweep.Point{Kind: machine.DM, P: p})
 	if err != nil {
 		return 0, false, err
 	}
-	w, ok, err := EquivalentWindow(s, p, dm.Cycles)
+	q := p
+	if q.MemQueue == 0 && q.Mem == nil {
+		q.MemQueue = machine.QueueFactor * p.Window
+	}
+	w, ok, err := s.EquivalentWindow(q, dm.Cycles)
 	if err != nil {
 		return 0, false, err
 	}
@@ -119,17 +359,19 @@ func EquivalentWindowRatio(s *machine.Suite, p machine.Params) (ratio float64, o
 // Crossover returns the smallest window in windows (ascending) at which
 // the SWSM is at least as fast as the DM with the same per-unit window,
 // and ok=false if no such window exists in the sweep. This locates the
-// paper's MD=0 cutoff points.
-func Crossover(s *machine.Suite, p machine.Params, windows []int) (window int, ok bool, err error) {
-	sim := engine.NewSim()
+// paper's MD=0 cutoff points. Both machines run through the Runner on
+// one warm scratch, so a crossover scan over windows another sweep
+// already visited costs nothing.
+func (s *Search) Crossover(p machine.Params, windows []int) (window int, ok bool, err error) {
+	sim := s.sim(0)
 	for _, w := range windows {
 		q := p
 		q.Window = w
-		dm, err := s.RunDMWith(sim, q)
+		dm, err := s.Runner.RunWith(sim, sweep.Point{Kind: machine.DM, P: q})
 		if err != nil {
 			return 0, false, err
 		}
-		sw, err := s.RunSWSMWith(sim, q)
+		sw, err := s.Runner.RunWith(sim, sweep.Point{Kind: machine.SWSM, P: q})
 		if err != nil {
 			return 0, false, err
 		}
@@ -138,4 +380,22 @@ func Crossover(s *machine.Suite, p machine.Params, windows []int) (window int, o
 		}
 	}
 	return 0, false, nil
+}
+
+// EquivalentWindow is Search.EquivalentWindow on a one-shot Search
+// against r. Callers evaluating many points should hold a Search so the
+// scratch pool stays warm.
+func EquivalentWindow(r *sweep.Runner, p machine.Params, target int64) (window int, ok bool, err error) {
+	return NewSearch(r).EquivalentWindow(p, target)
+}
+
+// EquivalentWindowRatio is Search.EquivalentWindowRatio on a one-shot
+// Search against r.
+func EquivalentWindowRatio(r *sweep.Runner, p machine.Params) (ratio float64, ok bool, err error) {
+	return NewSearch(r).EquivalentWindowRatio(p)
+}
+
+// Crossover is Search.Crossover on a one-shot Search against r.
+func Crossover(r *sweep.Runner, p machine.Params, windows []int) (window int, ok bool, err error) {
+	return NewSearch(r).Crossover(p, windows)
 }

@@ -8,6 +8,7 @@ import (
 	"daesim/internal/kernel"
 	"daesim/internal/machine"
 	"daesim/internal/partition"
+	"daesim/internal/sweep"
 )
 
 func TestSpeedupAndLHE(t *testing.T) {
@@ -102,7 +103,7 @@ func TestEquivalentWindowAgainstSuite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, ok, err := EquivalentWindow(s, machine.Params{MD: 40, MemQueue: 24}, dm.Cycles)
+	w, ok, err := EquivalentWindow(sweep.NewRunner(s), machine.Params{MD: 40, MemQueue: 24}, dm.Cycles)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,9 +126,119 @@ func TestEquivalentWindowAgainstSuite(t *testing.T) {
 	}
 }
 
+// TestSearchParallelMatchesSerial pins the speculative-parallel search
+// against the serial path on a small figure grid. Simulated time is not
+// perfectly monotone in window size (Graham anomalies), so the two
+// probe paths may legally land on different boundaries of an anomaly
+// wobble band; the contract both must satisfy is boundary validity —
+// t(w) <= target < t(w-1) — plus agreement on ok. Run under -race this
+// also exercises the worker pool for data races (the CI race job does).
+func TestSearchParallelMatchesSerial(t *testing.T) {
+	s := smallSuite(t)
+	serial := NewSearch(sweep.NewRunner(s))
+	serial.Parallelism = 1
+	parallel := NewSearch(sweep.NewRunner(s))
+	parallel.Parallelism = 4
+	probe := func(p machine.Params, w int) int64 {
+		q := p
+		q.Window = w
+		q.MemQueue = machine.QueueFactor * p.Window
+		r, err := s.RunSWSM(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Cycles
+	}
+	for _, md := range []int{0, 20, 40} {
+		for _, w := range []int{4, 8, 12, 20} {
+			p := machine.Params{Window: w, MD: md}
+			dm, err := s.RunDM(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sw, sok, err := serial.EquivalentWindow(machine.Params{Window: w, MD: md, MemQueue: machine.QueueFactor * w}, dm.Cycles)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pw, pok, err := parallel.EquivalentWindow(machine.Params{Window: w, MD: md, MemQueue: machine.QueueFactor * w}, dm.Cycles)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sok != pok {
+				t.Errorf("md=%d w=%d: ok mismatch: serial %v, parallel %v", md, w, sok, pok)
+				continue
+			}
+			if !sok {
+				continue
+			}
+			for _, got := range []struct {
+				name string
+				w    int
+			}{{"serial", sw}, {"parallel", pw}} {
+				if c := probe(p, got.w); c > dm.Cycles {
+					t.Errorf("md=%d w=%d: %s window %d misses target (%d > %d)", md, w, got.name, got.w, c, dm.Cycles)
+				}
+				if got.w > 1 {
+					if c := probe(p, got.w-1); c <= dm.Cycles {
+						t.Errorf("md=%d w=%d: %s window %d is not a boundary (t(w-1)=%d <= %d)", md, w, got.name, got.w, c, dm.Cycles)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEquivalentWindowHintInvariance: the bracket hint (p.Window) must
+// not change the answer, wherever it lands relative to the minimum.
+func TestEquivalentWindowHintInvariance(t *testing.T) {
+	s := smallSuite(t)
+	r := sweep.NewRunner(s)
+	dm, err := s.RunDM(machine.Params{Window: 12, MD: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := machine.Params{MD: 40, MemQueue: 24}
+	want, wantOK, err := EquivalentWindow(r, base, dm.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		for _, hint := range []int{0, 1, 3, 12, 77, 600, MaxEquivalentWindow, MaxEquivalentWindow + 9} {
+			q := base
+			q.Window = hint
+			search := NewSearch(r)
+			search.Parallelism = par
+			got, ok, err := search.EquivalentWindow(q, dm.Cycles)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want || ok != wantOK {
+				t.Errorf("par=%d hint=%d: got (%d, %v), want (%d, %v)", par, hint, got, ok, want, wantOK)
+			}
+		}
+	}
+}
+
+// TestSearchSaturates: an unreachable target reports the cap and !ok on
+// both the serial and the parallel path.
+func TestSearchSaturates(t *testing.T) {
+	s := smallSuite(t)
+	for _, par := range []int{1, 3} {
+		search := NewSearch(sweep.NewRunner(s))
+		search.Parallelism = par
+		w, ok, err := search.EquivalentWindow(machine.Params{MD: 40, Window: 16}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok || w != MaxEquivalentWindow {
+			t.Fatalf("par=%d: unreachable target gave (%d, %v), want (%d, false)", par, w, ok, MaxEquivalentWindow)
+		}
+	}
+}
+
 func TestEquivalentWindowRatioNeedsFiniteWindow(t *testing.T) {
 	s := smallSuite(t)
-	if _, _, err := EquivalentWindowRatio(s, machine.Params{Window: 0, MD: 40}); err == nil {
+	if _, _, err := EquivalentWindowRatio(sweep.NewRunner(s), machine.Params{Window: 0, MD: 40}); err == nil {
 		t.Fatal("unlimited DM window accepted")
 	}
 }
@@ -135,7 +246,7 @@ func TestEquivalentWindowRatioNeedsFiniteWindow(t *testing.T) {
 func TestCrossover(t *testing.T) {
 	s := smallSuite(t)
 	windows := []int{2, 4, 8, 16, 32, 64, 128}
-	w, ok, err := Crossover(s, machine.Params{MD: 0}, windows)
+	w, ok, err := Crossover(sweep.NewRunner(s), machine.Params{MD: 0}, windows)
 	if err != nil {
 		t.Fatal(err)
 	}

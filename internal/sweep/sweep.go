@@ -31,6 +31,10 @@ type key struct {
 type Runner struct {
 	Suite *machine.Suite
 	// Parallelism bounds concurrent simulations (default: GOMAXPROCS).
+	// It caps both RunAll's worker pool and the probe fan-out of the
+	// speculative-parallel equivalent-window searches that run against
+	// this Runner (metrics.Search). Set it to 1 to force every consumer
+	// serial, e.g. for deterministic profiling.
 	Parallelism int
 
 	mu    sync.Mutex
@@ -154,7 +158,8 @@ func (r *Runner) WindowSweep(kind machine.Kind, base machine.Params, windows []i
 	return s, nil
 }
 
-// Windows returns n window sizes from lo to hi inclusive, evenly spaced.
+// Windows returns the window sizes lo, lo+step, lo+2*step, ... up to and
+// including hi when it lands on the grid.
 func Windows(lo, hi, step int) []int {
 	var out []int
 	for w := lo; w <= hi; w += step {
