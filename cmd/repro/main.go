@@ -3,32 +3,133 @@
 //
 // Usage:
 //
-//	repro [-out results] [-scale 1] [-par 0] [-exp all|table1|fig4|fig5|fig6|fig7|fig8|fig9|cutoffs|bigwindow|esw|ablations]
+//	repro [-out results] [-scale 1] [-par 0] [-cache dir] [-cache-clear] [-cache-stats file]
+//	      [-exp all|table1|fig4|fig5|fig6|fig7|fig8|fig9|cutoffs|bigwindow|esw|ablations|expansion|policies|retire|cache|complexity]
+//
+// With -cache, simulation results are read from and written to a
+// persistent on-disk store keyed by engine version, workload content and
+// parameters, so a re-run (or an overlapping experiment) skips every
+// point it has seen before; -cache-clear empties the store first, and
+// -cache-stats writes the run's hit/miss counters as JSON. The summary
+// always prints to stderr, keeping stdout byte-comparable across runs.
+//
+// TestUsageEnumeratesExperiments keeps the usage line above, the -exp
+// flag help and the dispatch table in sync.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"daesim/internal/experiments"
+	"daesim/internal/sweep"
 )
+
+// experimentOrder lists every dispatchable -exp value except "all", in
+// usage order. The dispatch table below must cover exactly these.
+var experimentOrder = []string{
+	"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+	"cutoffs", "bigwindow", "esw", "ablations",
+	"expansion", "policies", "retire", "cache", "complexity",
+}
+
+// renderTo adapts a result-producing experiment to the dispatch table.
+func renderTo[T interface{ Render(io.Writer) error }](get func() (T, error)) func(io.Writer) error {
+	return func(w io.Writer) error {
+		res, err := get()
+		if err != nil {
+			return err
+		}
+		return res.Render(w)
+	}
+}
+
+// dispatch maps -exp values to their drivers (each bound to ctx).
+func dispatch(ctx *experiments.Context) map[string]func(io.Writer) error {
+	m := map[string]func(io.Writer) error{
+		"table1":     renderTo(ctx.Table1),
+		"cutoffs":    renderTo(ctx.Cutoffs),
+		"bigwindow":  renderTo(ctx.BigWindow),
+		"esw":        renderTo(ctx.ESWStudy),
+		"expansion":  renderTo(ctx.CodeExpansion),
+		"policies":   renderTo(ctx.PolicyStudy),
+		"retire":     renderTo(ctx.RetireStudy),
+		"cache":      renderTo(ctx.CacheStudy),
+		"complexity": renderTo(ctx.ComplexityStudy),
+		"ablations": func(w io.Writer) error {
+			as, err := ctx.Ablations()
+			if err != nil {
+				return err
+			}
+			for _, a := range as {
+				if err := a.Render(w); err != nil {
+					return err
+				}
+				fmt.Fprintln(w)
+			}
+			return nil
+		},
+	}
+	for exp, name := range map[string]string{"fig4": "FLO52Q", "fig5": "MDG", "fig6": "TRACK"} {
+		name := name
+		m[exp] = renderTo(func() (*experiments.FigureResult, error) { return ctx.Figure(name) })
+	}
+	for exp, name := range map[string]string{"fig7": "FLO52Q", "fig8": "MDG", "fig9": "TRACK"} {
+		name := name
+		m[exp] = renderTo(func() (*experiments.RatioResult, error) { return ctx.RatioFigure(name) })
+	}
+	return m
+}
+
+// expFlagHelp enumerates the -exp values for the flag description.
+func expFlagHelp() string {
+	return "experiment to run: all, " + strings.Join(experimentOrder, ", ")
+}
 
 func main() {
 	out := flag.String("out", "results", "output directory")
 	scale := flag.Int("scale", 1, "workload scale factor")
-	exp := flag.String("exp", "all", "experiment to run: all, table1, fig4..fig9, cutoffs, bigwindow, esw, ablations, expansion, policies, retire, cache, complexity")
+	exp := flag.String("exp", "all", expFlagHelp())
 	par := flag.Int("par", 0, "max concurrent simulations per sweep and search (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache", "", "persistent result-cache directory (empty = cache disabled)")
+	cacheClear := flag.Bool("cache-clear", false, "empty the persistent cache before running")
+	cacheStats := flag.String("cache-stats", "", "write cache hit/miss statistics as JSON to this file")
 	flag.Parse()
 
 	ctx := experiments.NewContext()
 	ctx.Scale = *scale
 	ctx.Parallelism = *par
 
-	if err := run(ctx, *exp, *out); err != nil {
-		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
-		os.Exit(1)
+	if *cacheDir != "" {
+		store, err := sweep.OpenStore(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		if *cacheClear {
+			if err := store.Clear(); err != nil {
+				fatal(err)
+			}
+		}
+		ctx.Cache = store
+	} else if *cacheClear {
+		fatal(fmt.Errorf("-cache-clear needs -cache"))
 	}
+
+	if err := run(ctx, *exp, *out); err != nil {
+		fatal(err)
+	}
+	if err := reportCache(ctx, *cacheStats); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+	os.Exit(1)
 }
 
 func run(ctx *experiments.Context, exp, out string) error {
@@ -36,88 +137,39 @@ func run(ctx *experiments.Context, exp, out string) error {
 		_, err := ctx.WriteAll(out, os.Stdout)
 		return err
 	}
-	figures := map[string]string{"fig4": "FLO52Q", "fig5": "MDG", "fig6": "TRACK"}
-	ratios := map[string]string{"fig7": "FLO52Q", "fig8": "MDG", "fig9": "TRACK"}
-	switch {
-	case exp == "table1":
-		t, err := ctx.Table1()
-		if err != nil {
-			return err
-		}
-		return t.Render(os.Stdout)
-	case figures[exp] != "":
-		f, err := ctx.Figure(figures[exp])
-		if err != nil {
-			return err
-		}
-		return f.Render(os.Stdout)
-	case ratios[exp] != "":
-		f, err := ctx.RatioFigure(ratios[exp])
-		if err != nil {
-			return err
-		}
-		return f.Render(os.Stdout)
-	case exp == "cutoffs":
-		c, err := ctx.Cutoffs()
-		if err != nil {
-			return err
-		}
-		return c.Render(os.Stdout)
-	case exp == "bigwindow":
-		b, err := ctx.BigWindow()
-		if err != nil {
-			return err
-		}
-		return b.Render(os.Stdout)
-	case exp == "esw":
-		e, err := ctx.ESWStudy()
-		if err != nil {
-			return err
-		}
-		return e.Render(os.Stdout)
-	case exp == "ablations":
-		as, err := ctx.Ablations()
-		if err != nil {
-			return err
-		}
-		for _, a := range as {
-			if err := a.Render(os.Stdout); err != nil {
-				return err
-			}
-			fmt.Println()
-		}
-		return nil
-	case exp == "expansion":
-		e, err := ctx.CodeExpansion()
-		if err != nil {
-			return err
-		}
-		return e.Render(os.Stdout)
-	case exp == "policies":
-		p, err := ctx.PolicyStudy()
-		if err != nil {
-			return err
-		}
-		return p.Render(os.Stdout)
-	case exp == "retire":
-		r, err := ctx.RetireStudy()
-		if err != nil {
-			return err
-		}
-		return r.Render(os.Stdout)
-	case exp == "cache":
-		r, err := ctx.CacheStudy()
-		if err != nil {
-			return err
-		}
-		return r.Render(os.Stdout)
-	case exp == "complexity":
-		r, err := ctx.ComplexityStudy()
-		if err != nil {
-			return err
-		}
-		return r.Render(os.Stdout)
-	default:
-		return fmt.Errorf("unknown experiment %q", exp)
+	fn, ok := dispatch(ctx)[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (want all, %s)", exp, strings.Join(experimentOrder, ", "))
 	}
+	return fn(os.Stdout)
+}
+
+// cacheReport is the -cache-stats JSON document.
+type cacheReport struct {
+	// Runner-level traffic: L1 (in-memory) hits, persistent-store hits,
+	// simulations executed, uncacheable runs, and the composite hit rate.
+	Runner sweep.CacheStats `json:"runner"`
+	// HitRate is Runner's fraction of cacheable points served from cache.
+	HitRate float64 `json:"hit_rate"`
+	// Store-level counters (zero when -cache is off).
+	Store sweep.StoreStats `json:"store"`
+}
+
+// reportCache prints the cache summary to stderr (stdout must stay
+// byte-comparable between cold and warm runs) and writes the JSON stats
+// file when asked.
+func reportCache(ctx *experiments.Context, statsPath string) error {
+	stats := ctx.CacheStats()
+	report := cacheReport{Runner: stats, HitRate: stats.HitRate(), Store: ctx.StoreStats()}
+	fmt.Fprintf(os.Stderr, "repro: cache: %d sims, %d L1 hits, %d store hits (hit rate %.1f%%), %d uncacheable; store: %d writes, %d corrupt\n",
+		stats.Sims, stats.L1Hits, stats.StoreHits, 100*report.HitRate, stats.Uncacheable,
+		report.Store.Writes, report.Store.Corrupt)
+	if statsPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(statsPath, append(data, '\n'), 0o644)
 }

@@ -1,10 +1,87 @@
 package main
 
 import (
+	"os"
+	"strings"
 	"testing"
 
 	"daesim/internal/experiments"
 )
+
+// TestUsageEnumeratesExperiments keeps three things in sync: the
+// dispatch table, the doc comment's usage line, and the -exp flag help.
+// Any experiment reachable through run() must be discoverable from both
+// user-facing strings.
+func TestUsageEnumeratesExperiments(t *testing.T) {
+	table := dispatch(experiments.NewContext())
+	if len(table) != len(experimentOrder) {
+		t.Errorf("dispatch table has %d entries, experimentOrder %d", len(table), len(experimentOrder))
+	}
+	for _, name := range experimentOrder {
+		if table[name] == nil {
+			t.Errorf("experimentOrder lists %q but dispatch cannot run it", name)
+		}
+	}
+	for name := range table {
+		found := false
+		for _, n := range experimentOrder {
+			if n == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("dispatchable experiment %q missing from experimentOrder", name)
+		}
+	}
+
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extract only the -exp enumeration of the doc comment (the
+	// "//	repro ..." block after "Usage:") and split them into words,
+	// so a name like "cache" or "all" must appear in the -exp
+	// enumeration itself — a stray "-cache dir" or "always" elsewhere
+	// in the comment cannot mask an omission.
+	doc := string(src[:strings.Index(string(src), "package main")])
+	if !strings.Contains(doc, "Usage:") {
+		t.Fatal("main.go doc comment lost its Usage block")
+	}
+	usageWords := map[string]bool{}
+	for _, line := range strings.Split(doc, "\n") {
+		if !strings.HasPrefix(line, "//\t") {
+			continue
+		}
+		// Only the -exp enumeration counts: the "-cache dir" flag on a
+		// usage line must not be able to mask an omitted "cache".
+		i := strings.Index(line, "-exp ")
+		if i < 0 {
+			continue
+		}
+		for _, w := range strings.FieldsFunc(line[i+len("-exp "):], func(r rune) bool {
+			return !('a' <= r && r <= 'z' || '0' <= r && r <= '9')
+		}) {
+			usageWords[w] = true
+		}
+	}
+	if len(usageWords) == 0 {
+		t.Fatal("main.go usage block lost its -exp enumeration line")
+	}
+	helpWords := map[string]bool{}
+	for _, w := range strings.FieldsFunc(expFlagHelp(), func(r rune) bool {
+		return !('a' <= r && r <= 'z' || '0' <= r && r <= '9')
+	}) {
+		helpWords[w] = true
+	}
+	for _, name := range append([]string{"all"}, experimentOrder...) {
+		if !usageWords[name] {
+			t.Errorf("doc comment usage line omits experiment %q", name)
+		}
+		if !helpWords[name] {
+			t.Errorf("-exp flag help omits experiment %q", name)
+		}
+	}
+}
 
 func TestSingleExperiments(t *testing.T) {
 	if testing.Short() {

@@ -72,6 +72,21 @@ const (
 // Unbounded disables the outstanding-fill queue limit in Params.MemQueue.
 const Unbounded = machine.Unbounded
 
+// RetirePolicy selects how window slots are reclaimed (Params.Retire).
+// The zero value RetireAuto resolves to the machine default — in-order
+// (ROB/FIFO-queue-style) on both machines; RetireAtComplete forces the
+// older free-at-completion accounting (ablation A6, EXPERIMENTS.md).
+type RetirePolicy = machine.RetirePolicy
+
+const (
+	// RetireAuto picks the machine default: in-order on both machines.
+	RetireAuto = machine.RetireAuto
+	// RetireAtComplete frees a window slot when its op completes.
+	RetireAtComplete = machine.RetireAtComplete
+	// RetireInOrder frees window slots in program order (reorder buffer).
+	RetireInOrder = machine.RetireInOrder
+)
+
 // Partition policies for the decoupled machine.
 type Policy = partition.Policy
 
@@ -124,17 +139,34 @@ func DefaultTiming(md int) Timing { return isa.DefaultTiming(md) }
 // Sweeping and searching. A Runner executes simulation points against
 // one suite, in parallel, memoizing results so overlapping sweeps do not
 // re-simulate; a Search runs the speculative-parallel equivalent-window
-// and crossover searches against a Runner on a warm scratch pool.
+// and crossover searches against a Runner on a warm scratch pool. A
+// Store adds a persistent on-disk layer behind a Runner's in-memory
+// cache: results survive process restarts, keyed by engine version,
+// workload content fingerprint and canonical parameters, so re-runs skip
+// every point they have seen before (DESIGN.md §9).
 type (
 	// Runner is a parallel, memoizing simulation executor for one Suite.
+	// Set Runner.Store to persist results across processes.
 	Runner = sweep.Runner
 	// Search runs equivalent-window and crossover searches against a
 	// Runner (see NewSearch).
 	Search = metrics.Search
+	// Store is a persistent, content-addressed, corruption-tolerant
+	// on-disk result cache, safe for concurrent processes.
+	Store = sweep.Store
+	// CacheStats counts where a Runner's results came from.
+	CacheStats = sweep.CacheStats
+	// StoreStats is a snapshot of a Store's traffic counters.
+	StoreStats = sweep.StoreStats
 )
 
 // NewRunner returns a memoizing Runner for the suite.
 func NewRunner(s *Suite) *Runner { return sweep.NewRunner(s) }
+
+// OpenStore opens (creating if needed) a persistent result cache rooted
+// at dir. Attach it to a Runner (Runner.Store) or an experiment context
+// (Experiments.Cache) before the first run.
+func OpenStore(dir string) (*Store, error) { return sweep.OpenStore(dir) }
 
 // NewSearch returns a Search against the runner. Hold one per sweep so
 // its per-worker scratch contexts stay warm across search points.

@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCloneCoversAllResultFields pins the field counts of Result and
+// CoreStats. If this fails you added (or removed) a field: extend
+// Result.Clone to deep-copy any new reference-typed field first, then
+// update the counts. A shallow-aliased slice would silently break the
+// defensive-copy contract of the result caches (sweep.Runner/Store).
+func TestCloneCoversAllResultFields(t *testing.T) {
+	if n := reflect.TypeOf(Result{}).NumField(); n != 10 {
+		t.Fatalf("Result has %d fields, Clone deep-copies for 10: audit Clone first", n)
+	}
+	if n := reflect.TypeOf(CoreStats{}).NumField(); n != 6 {
+		t.Fatalf("CoreStats has %d fields, Clone deep-copies for 6: audit Clone first", n)
+	}
+}
+
+// TestCloneIsDeep proves no reference state is shared between a Result
+// and its clone.
+func TestCloneIsDeep(t *testing.T) {
+	orig := &Result{
+		Cycles: 7, Ops: 3, TraceLen: 2,
+		Cores: []CoreStats{
+			{Issued: 1, IssueHist: []int64{4, 5}},
+			{Issued: 2, IssueHist: nil},
+		},
+		MaxESW: 9, AvgESW: 1.5, Fills: 4,
+	}
+	c := orig.Clone()
+	if !reflect.DeepEqual(orig, c) {
+		t.Fatalf("clone differs: %+v vs %+v", orig, c)
+	}
+	c.Cores[0].Issued = -1
+	c.Cores[0].IssueHist[0] = -1
+	if orig.Cores[0].Issued != 1 || orig.Cores[0].IssueHist[0] != 4 {
+		t.Fatal("clone shares state with the original")
+	}
+	if (*Result)(nil).Clone() != nil {
+		t.Fatal("nil clone must be nil")
+	}
+}

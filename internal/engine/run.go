@@ -120,6 +120,27 @@ type Result struct {
 	MaxFillsInFlight int
 }
 
+// Clone returns a deep copy of the result. Shared caches (sweep.Runner,
+// sweep.Store) hold one canonical Result per point and hand clones to
+// callers, so a caller scribbling on a returned Result cannot poison
+// later hits.
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
+	out := *r
+	if r.Cores != nil {
+		out.Cores = make([]CoreStats, len(r.Cores))
+		copy(out.Cores, r.Cores)
+		for i := range out.Cores {
+			if h := r.Cores[i].IssueHist; h != nil {
+				out.Cores[i].IssueHist = append([]int64(nil), h...)
+			}
+		}
+	}
+	return &out
+}
+
 // IPC returns trace instructions completed per cycle.
 func (r *Result) IPC() float64 {
 	if r.Cycles == 0 {

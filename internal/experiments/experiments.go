@@ -14,6 +14,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"daesim/internal/engine"
@@ -33,24 +34,58 @@ type Context struct {
 	// Parallelism caps each workload runner's concurrent simulations and
 	// the equivalent-window search fan-out (0 = GOMAXPROCS).
 	Parallelism int
+	// Cache, when non-nil, is the persistent result store handed to every
+	// workload runner: simulation results survive process restarts and are
+	// invalidated by engine-version bumps and workload recalibrations
+	// (DESIGN.md §9). Set it before the first experiment runs.
+	Cache *sweep.Store
 
-	mu      sync.Mutex
-	runners map[string]*sweep.Runner
+	mu         sync.Mutex
+	runners    map[string]*runnerEntry
+	extraStats sweep.CacheStats // detached runners' traffic (see addStats)
+}
+
+// runnerEntry is a single-flight slot for one workload's runner: the
+// first caller builds the trace and lowers it outside the context lock;
+// concurrent callers block on ready. Without this, sharded drivers that
+// first-touch several workloads at once (Table1's construction phase)
+// would serialize the expensive builds on the context mutex.
+type runnerEntry struct {
+	ready chan struct{}
+	r     *sweep.Runner
+	err   error
 }
 
 // NewContext returns a Context at scale 1 with the classic partition.
 func NewContext() *Context {
-	return &Context{Scale: 1, runners: make(map[string]*sweep.Runner)}
+	return &Context{Scale: 1, runners: make(map[string]*runnerEntry)}
 }
 
 // Runner returns the memoizing runner for a workload, building the trace
 // and lowering it on first use.
 func (c *Context) Runner(name string) (*sweep.Runner, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if r, ok := c.runners[name]; ok {
-		return r, nil
+	if e, ok := c.runners[name]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		return e.r, e.err
 	}
+	e := &runnerEntry{ready: make(chan struct{})}
+	c.runners[name] = e
+	c.mu.Unlock()
+
+	e.r, e.err = c.buildRunner(name)
+	if e.err != nil {
+		c.mu.Lock()
+		delete(c.runners, name)
+		c.mu.Unlock()
+	}
+	close(e.ready)
+	return e.r, e.err
+}
+
+// buildRunner constructs a workload's trace, lowering and runner.
+func (c *Context) buildRunner(name string) (*sweep.Runner, error) {
 	tr, err := workloads.Build(name, c.Scale)
 	if err != nil {
 		return nil, err
@@ -61,8 +96,53 @@ func (c *Context) Runner(name string) (*sweep.Runner, error) {
 	}
 	r := sweep.NewRunner(suite)
 	r.Parallelism = c.Parallelism
-	c.runners[name] = r
+	r.Store = c.Cache
 	return r, nil
+}
+
+// par returns the effective worker-pool width.
+func (c *Context) par() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// CacheStats aggregates cache traffic across every runner the context
+// has built so far (the run summary of cmd/repro), including the
+// ad-hoc runners the policy study builds for non-default partitions.
+func (c *Context) CacheStats() sweep.CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total sweep.CacheStats
+	for _, e := range c.runners {
+		select {
+		case <-e.ready:
+			if e.r != nil {
+				total.Add(e.r.Stats())
+			}
+		default: // still building: no traffic yet
+		}
+	}
+	total.Add(c.extraStats)
+	return total
+}
+
+// addStats folds a detached runner's counters into the context totals
+// (used by drivers that build suites outside the per-workload cache).
+func (c *Context) addStats(s sweep.CacheStats) {
+	c.mu.Lock()
+	c.extraStats.Add(s)
+	c.mu.Unlock()
+}
+
+// StoreStats returns the persistent store's counters (zero value when no
+// cache is attached).
+func (c *Context) StoreStats() sweep.StoreStats {
+	if c.Cache == nil {
+		return sweep.StoreStats{}
+	}
+	return c.Cache.Stats()
 }
 
 // MD values used across the study.
@@ -94,32 +174,55 @@ type Table1Result struct {
 }
 
 // Table1 measures DM latency-hiding effectiveness for all seven programs
-// at MD=60 across window sizes.
+// at MD=60 across window sizes. The table is sharded two ways: workload
+// construction (trace build + lowering) fans out across the pool, then
+// every (workload, window, MD) point — they are all independent — joins
+// one global work list instead of running workload-serial.
 func (c *Context) Table1() (*Table1Result, error) {
+	specs := workloads.Catalog()
+	runners := make([]*sweep.Runner, len(specs))
+	if err := forEach(c.par(), len(specs), func(i int) error {
+		r, err := c.Runner(specs[i].Name)
+		runners[i] = r
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	windows := append(append([]int(nil), Table1Windows...), 0)
+	type job struct {
+		workload, window int
+		pt               sweep.Point
+	}
+	var jobs []job
+	for i := range specs {
+		for wi, w := range windows {
+			jobs = append(jobs,
+				job{i, wi, sweep.Point{Kind: machine.DM, P: machine.Params{Window: w, MD: MDFull}}},
+				job{i, wi, sweep.Point{Kind: machine.DM, P: machine.Params{Window: w, MD: MDZero}}})
+		}
+	}
+	results := make([]*engine.Result, len(jobs))
+	if err := forEach(c.par(), len(jobs), func(j int) error {
+		res, err := runners[jobs[j].workload].Run(jobs[j].pt)
+		results[j] = res
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	res := &Table1Result{MD: MDFull, Windows: Table1Windows}
-	for _, spec := range workloads.Catalog() {
-		r, err := c.Runner(spec.Name)
-		if err != nil {
-			return nil, err
+	res.Rows = make([]Table1Row, len(specs))
+	for i, spec := range specs {
+		res.Rows[i] = Table1Row{Name: spec.Name, Band: spec.Band}
+	}
+	for j := 0; j < len(jobs); j += 2 {
+		actual, perfect := results[j], results[j+1]
+		row := &res.Rows[jobs[j].workload]
+		lhe := metrics.LHE(perfect.Cycles, actual.Cycles)
+		if windows[jobs[j].window] == 0 {
+			row.Unlimited = lhe
+		} else {
+			row.LHE = append(row.LHE, lhe)
 		}
-		row := Table1Row{Name: spec.Name, Band: spec.Band}
-		for _, w := range append(append([]int(nil), Table1Windows...), 0) {
-			actual, err := r.Run(sweep.Point{Kind: machine.DM, P: machine.Params{Window: w, MD: MDFull}})
-			if err != nil {
-				return nil, err
-			}
-			perfect, err := r.Run(sweep.Point{Kind: machine.DM, P: machine.Params{Window: w, MD: MDZero}})
-			if err != nil {
-				return nil, err
-			}
-			lhe := metrics.LHE(perfect.Cycles, actual.Cycles)
-			if w == 0 {
-				row.Unlimited = lhe
-			} else {
-				row.LHE = append(row.LHE, lhe)
-			}
-		}
-		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
 }
@@ -152,22 +255,36 @@ func (c *Context) Figure(name string) (*FigureResult, error) {
 		return nil, err
 	}
 	res := &FigureResult{Number: num, Workload: name}
-	for _, cfg := range []struct {
+	configs := []struct {
 		kind machine.Kind
 		md   int
 	}{
 		{machine.DM, MDZero}, {machine.SWSM, MDZero},
 		{machine.DM, MDFull}, {machine.SWSM, MDFull},
-	} {
-		serial := machine.SerialCycles(r.Suite.Trace, machine.Params{MD: cfg.md}.Timing())
-		s, err := r.WindowSweep(cfg.kind, machine.Params{MD: cfg.md}, FigureWindows,
-			func(_ int, res2 *engine.Result) float64 {
-				return metrics.Speedup(serial, res2.Cycles)
-			})
-		if err != nil {
-			return nil, err
+	}
+	// All four curves batch into one point list, so the sweep's worker
+	// pool drains the whole figure at once instead of curve by curve.
+	pts := make([]sweep.Point, 0, len(configs)*len(FigureWindows))
+	for _, cfg := range configs {
+		for _, w := range FigureWindows {
+			pts = append(pts, sweep.Point{Kind: cfg.kind, P: machine.Params{Window: w, MD: cfg.md}})
 		}
-		s.Name = fmt.Sprintf("%s md=%d", cfg.kind, cfg.md)
+	}
+	results, err := r.RunAll(pts)
+	if err != nil {
+		return nil, err
+	}
+	for ci, cfg := range configs {
+		serial := machine.SerialCycles(r.Suite.Trace, machine.Params{MD: cfg.md}.Timing())
+		s := sweep.Series{
+			Name: fmt.Sprintf("%s md=%d", cfg.kind, cfg.md),
+			X:    make([]float64, len(FigureWindows)),
+			Y:    make([]float64, len(FigureWindows)),
+		}
+		for wi, w := range FigureWindows {
+			s.X[wi] = float64(w)
+			s.Y[wi] = metrics.Speedup(serial, results[ci*len(FigureWindows)+wi].Cycles)
+		}
 		res.Series = append(res.Series, s)
 	}
 	return res, nil
@@ -206,26 +323,44 @@ func (c *Context) RatioFigure(name string) (*RatioResult, error) {
 		return nil, err
 	}
 	res := &RatioResult{Number: num, Workload: name, Saturated: map[int][]int{}}
-	// One Search for the whole figure: its scratch pool stays warm across
-	// every (md, window) point, its probes fan out across workers, and the
-	// Runner memoizes the DM anchors and SWSM probes, so the points that
-	// overlap other sweeps (or other curves of this figure) are free.
-	search := metrics.NewSearch(r)
-	for _, md := range RatioMDs {
+	res.Series = make([]sweep.Series, len(RatioMDs))
+	// The MD curves are independent, so they fan out across the pool: one
+	// goroutine and one Search per curve (a Search parallelizes
+	// internally but is not safe for concurrent use). Every probe routes
+	// through the shared Runner, so curves still share memoized DM
+	// anchors and SWSM probes with each other and with other sweeps. Each
+	// curve's probe fan-out gets a slice of the pool; the division
+	// overcommits slightly (searches spend time between waves) rather
+	// than letting finished curves idle the pool.
+	par := c.par()
+	searchPar := 2 * par / len(RatioMDs)
+	if searchPar < 1 {
+		searchPar = 1
+	}
+	var mu sync.Mutex // guards res.Saturated
+	if err := forEach(par, len(RatioMDs), func(mi int) error {
+		md := RatioMDs[mi]
+		search := metrics.NewSearch(r)
+		search.Parallelism = searchPar
 		s := sweep.Series{Name: fmt.Sprintf("md=%d", md)}
 		for _, w := range RatioWindows {
 			ratio, ok, err := search.EquivalentWindowRatio(machine.Params{Window: w, MD: md})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if !ok {
+				mu.Lock()
 				res.Saturated[md] = append(res.Saturated[md], w)
+				mu.Unlock()
 				continue
 			}
 			s.X = append(s.X, float64(w))
 			s.Y = append(s.Y, ratio)
 		}
-		res.Series = append(res.Series, s)
+		res.Series[mi] = s
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -344,8 +479,10 @@ func (c *Context) ESWStudy() (*ESWResult, error) {
 		}
 		for _, w := range []int{16, 64} {
 			for _, md := range []int{10, 30, MDFull} {
+				// Through the runner: CollectESW is part of the cache
+				// key, so ESW points persist like any other.
 				p := machine.Params{Window: w, MD: md, CollectESW: true}
-				rr, err := r.Suite.RunDMWith(sim, p)
+				rr, err := r.RunWith(sim, sweep.Point{Kind: machine.DM, P: p})
 				if err != nil {
 					return nil, err
 				}

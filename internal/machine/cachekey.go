@@ -1,0 +1,76 @@
+package machine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"daesim/internal/engine"
+)
+
+// CacheKey returns a canonical, process-stable encoding of (kind, p) for
+// persistent result caches, and reports whether the point is cacheable at
+// all. Points carrying a custom Params.Mem are not: a MemModel is
+// arbitrary stateful code with no stable identity.
+//
+// The encoding writes every Params field explicitly, raw (unresolved),
+// except the retirement policy, which is recorded resolved so a change
+// to the machines' default accounting changes the key.
+// TestCacheKeyCoversAllParams pins the field count: adding a Params field
+// without extending this encoding is a build-time-visible bug, not a
+// silent stale-cache hazard.
+func (p Params) CacheKey(kind Kind) (string, bool) {
+	if p.Mem != nil {
+		return "", false
+	}
+	retire := RetireAtComplete
+	if p.retireInOrder() {
+		retire = RetireInOrder
+	}
+	return fmt.Sprintf("k=%s w=%d auw=%d duw=%d md=%d fp=%d cp=%d aw=%d dw=%d sw=%d dpw=%d mq=%d esw=%t hold=%t ret=%s",
+		kind, p.Window, p.AUWindow, p.DUWindow, p.MD, p.FPLat, p.CopyLat,
+		p.AUWidth, p.DUWidth, p.Width, p.DispatchWidth, p.MemQueue,
+		p.CollectESW, p.HoldSendSlots, retire), true
+}
+
+// Fingerprint returns a content hash of the suite's lowered programs —
+// the workload identity for persistent result caches. It covers every
+// field of every op of both machines' programs plus the trace length, so
+// it changes when a workload model is recalibrated, when its scale
+// changes, when the partition policy assigns ops differently, or when a
+// lowering emits different code — exactly the events that must invalidate
+// cached results for the suite. Computed once per Suite (hashing ~10 MB
+// of op stream costs a few ms; sweeps ask for it per point).
+func (s *Suite) Fingerprint() string {
+	s.fpOnce.Do(func() {
+		h := sha256.New()
+		var buf [8]byte
+		wInt := func(x int64) {
+			binary.LittleEndian.PutUint64(buf[:], uint64(x))
+			h.Write(buf[:])
+		}
+		hashProgram := func(p *engine.Program) {
+			h.Write([]byte(p.Name))
+			wInt(int64(p.NumUnits))
+			wInt(int64(p.TraceLen))
+			wInt(int64(len(p.Ops)))
+			for i := range p.Ops {
+				op := &p.Ops[i]
+				wInt(int64(op.Kind))
+				wInt(int64(op.Unit))
+				wInt(int64(op.MemSrc))
+				wInt(int64(op.Addr))
+				wInt(int64(op.Orig))
+				wInt(int64(len(op.Srcs)))
+				for _, s := range op.Srcs {
+					wInt(int64(s))
+				}
+			}
+		}
+		hashProgram(s.DM.Program)
+		hashProgram(s.SWSM)
+		s.fp = hex.EncodeToString(h.Sum(nil))
+	})
+	return s.fp
+}

@@ -1,0 +1,117 @@
+package machine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"daesim/internal/engine"
+	"daesim/internal/kernel"
+	"daesim/internal/partition"
+)
+
+// TestCacheKeyCoversAllParams pins Params' field count. If this fails
+// you added (or removed) a Params field: extend Params.CacheKey's
+// canonical encoding to cover it, then update the count. Skipping the
+// encoding would silently alias distinct configurations in the
+// persistent result cache.
+func TestCacheKeyCoversAllParams(t *testing.T) {
+	const knownFields = 15
+	if n := reflect.TypeOf(Params{}).NumField(); n != knownFields {
+		t.Fatalf("Params has %d fields, CacheKey encodes %d: update the canonical encoding first", n, knownFields)
+	}
+}
+
+// TestFingerprintCoversAllOpFields pins engine.Op's field count the same
+// way: Suite.Fingerprint hashes every Op field by hand, so a new field
+// that can affect simulation results must be added to the hash (or the
+// persistent store would alias suites differing only in that field).
+func TestFingerprintCoversAllOpFields(t *testing.T) {
+	const knownFields = 6
+	if n := reflect.TypeOf(engine.Op{}).NumField(); n != knownFields {
+		t.Fatalf("engine.Op has %d fields, Fingerprint hashes %d: extend the hash first", n, knownFields)
+	}
+}
+
+func TestCacheKeyDistinguishesEveryField(t *testing.T) {
+	base := Params{Window: 64, MD: 60}
+	variants := []Params{
+		{Window: 65, MD: 60},
+		{Window: 64, AUWindow: 32, MD: 60},
+		{Window: 64, DUWindow: 32, MD: 60},
+		{Window: 64, MD: 61},
+		{Window: 64, MD: 60, FPLat: 4},
+		{Window: 64, MD: 60, CopyLat: 2},
+		{Window: 64, MD: 60, AUWidth: 3},
+		{Window: 64, MD: 60, DUWidth: 6},
+		{Window: 64, MD: 60, Width: 8},
+		{Window: 64, MD: 60, DispatchWidth: 2},
+		{Window: 64, MD: 60, MemQueue: 7},
+		{Window: 64, MD: 60, CollectESW: true},
+		{Window: 64, MD: 60, HoldSendSlots: true},
+		{Window: 64, MD: 60, Retire: RetireAtComplete}, // auto resolves to in-order
+	}
+	for _, kind := range []Kind{DM, SWSM} {
+		bk, ok := base.CacheKey(kind)
+		if !ok {
+			t.Fatalf("%v: base params must be cacheable", kind)
+		}
+		seen := map[string]int{bk: -1}
+		for i, v := range variants {
+			k, ok := v.CacheKey(kind)
+			if !ok {
+				t.Fatalf("%v variant %d: must be cacheable", kind, i)
+			}
+			if prev, dup := seen[k]; dup {
+				t.Errorf("%v: variants %d and %d collide on %q", kind, prev, i, k)
+			}
+			seen[k] = i
+		}
+	}
+}
+
+func TestCacheKeyResolvesRetirePolicy(t *testing.T) {
+	for _, kind := range []Kind{DM, SWSM} {
+		p := Params{Window: 64, MD: 60}
+		auto, _ := p.CacheKey(kind)
+		p.Retire = RetireInOrder
+		forced, _ := p.CacheKey(kind)
+		if auto != forced {
+			t.Errorf("%v: auto must alias forced in-order: %q vs %q", kind, auto, forced)
+		}
+		if !strings.Contains(auto, "ret=in-order") {
+			t.Errorf("%v: auto key must record the resolved in-order policy: %q", kind, auto)
+		}
+		p.Retire = RetireAtComplete
+		atc, _ := p.CacheKey(kind)
+		if !strings.Contains(atc, "ret=at-complete") || atc == auto {
+			t.Errorf("%v: at-complete must be recorded distinctly: %q", kind, atc)
+		}
+	}
+}
+
+func TestFingerprintTracksContent(t *testing.T) {
+	build := func(n int) *Suite {
+		b := kernel.New("fp")
+		arr := b.Array("a", 4*n, 8)
+		for i := 0; i < n; i++ {
+			base := b.Int()
+			b.Store(arr, 2*n+i, b.FP(b.Load(arr, i, base)), base)
+		}
+		s, err := NewSuite(b.MustTrace(), partition.Classic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a1, a2, b := build(16), build(16), build(17)
+	if a1.Fingerprint() != a2.Fingerprint() {
+		t.Error("identical content must fingerprint identically")
+	}
+	if a1.Fingerprint() == b.Fingerprint() {
+		t.Error("different content must fingerprint differently")
+	}
+	if a1.Fingerprint() != a1.Fingerprint() {
+		t.Error("fingerprint must be stable per suite")
+	}
+}

@@ -6,6 +6,7 @@ package machine
 
 import (
 	"fmt"
+	"sync"
 
 	"daesim/internal/engine"
 	"daesim/internal/isa"
@@ -69,9 +70,57 @@ type Params struct {
 	// HoldSendSlots makes sends occupy window slots until their fill
 	// returns (ablation A3: removes fire-and-forget slippage).
 	HoldSendSlots bool
-	// RetireInOrder reclaims window slots in program order (ROB-style)
-	// instead of at completion (ablation A6).
-	RetireInOrder bool
+	// Retire selects the window-slot reclamation policy. The zero value
+	// (RetireAuto) resolves to the machine default: in-order (ROB-style)
+	// on both machines — the mid-90s machines the paper abstracts
+	// reclaimed slots through reorder buffers (SWSM) and per-unit FIFO
+	// queues (DM/PIPE/WM), and symmetric accounting is what restores the
+	// paper's C2 large-window ordering (EXPERIMENTS.md). RetireAtComplete
+	// forces the older free-at-completion accounting (ablation A6).
+	Retire RetirePolicy
+}
+
+// RetirePolicy selects how window slots are reclaimed.
+type RetirePolicy uint8
+
+const (
+	// RetireAuto picks the machine default: in-order on both machines.
+	RetireAuto RetirePolicy = iota
+	// RetireAtComplete frees a slot as soon as its op completes.
+	RetireAtComplete
+	// RetireInOrder frees slots in program order (reorder-buffer style):
+	// a completed op's slot is reclaimed only once every older op in the
+	// same core has completed.
+	RetireInOrder
+)
+
+func (r RetirePolicy) String() string {
+	switch r {
+	case RetireAuto:
+		return "auto"
+	case RetireAtComplete:
+		return "at-complete"
+	case RetireInOrder:
+		return "in-order"
+	default:
+		return fmt.Sprintf("retire(%d)", uint8(r))
+	}
+}
+
+// ResolveRetire maps a policy to the concrete policy the engine runs:
+// RetireAuto becomes the machine default. Resolution is kind-independent
+// — both machines default to in-order reclamation (their per-unit FIFO
+// queues and reorder buffers) — so caches may canonicalize keys with it.
+func ResolveRetire(r RetirePolicy) RetirePolicy {
+	if r == RetireAtComplete {
+		return RetireAtComplete
+	}
+	return RetireInOrder
+}
+
+// retireInOrder resolves the policy (see ResolveRetire).
+func (p Params) retireInOrder() bool {
+	return ResolveRetire(p.Retire) == RetireInOrder
 }
 
 // Unbounded disables the MemQueue outstanding-fill limit.
@@ -161,6 +210,10 @@ type Suite struct {
 	DM *lower.DMResult
 	// SWSM is the superscalar lowering.
 	SWSM *engine.Program
+
+	// fingerprint memoization (see Fingerprint).
+	fpOnce sync.Once
+	fp     string
 }
 
 // NewSuite lowers tr for both machines using the given partition policy.
@@ -214,7 +267,7 @@ func (p Params) dmConfig() (engine.Config, error) {
 		Mem:           mem,
 		CollectESW:    p.CollectESW,
 		HoldSendSlots: p.HoldSendSlots,
-		RetireInOrder: p.RetireInOrder,
+		RetireInOrder: p.retireInOrder(),
 	}, nil
 }
 
@@ -233,7 +286,7 @@ func (p Params) swsmConfig() (engine.Config, error) {
 		Mem:           mem,
 		CollectESW:    p.CollectESW,
 		HoldSendSlots: p.HoldSendSlots,
-		RetireInOrder: p.RetireInOrder,
+		RetireInOrder: p.retireInOrder(),
 	}, nil
 }
 

@@ -333,9 +333,12 @@ func (s *Search) EquivalentWindow(p machine.Params, target int64) (window int, o
 
 // EquivalentWindowRatio runs the DM at p and returns the ratio of the
 // equivalent SWSM window to the DM (per-unit) window — the quantity of
-// Figures 7-9. The SWSM probes keep the DM's memory-queue capacity
-// (QueueFactor x the DM window) so both machines see the same memory
-// subsystem; an explicit p.MemQueue or p.Mem is used as given. ok is
+// Figures 7-9. Each machine's memory buffer scales with its own window
+// (the default QueueFactor×Window): the prefetch buffer is part of the
+// window resource the search is scaling, so a probe at window w gets a
+// w-proportional buffer just as the DM it must match got one — pinning
+// the probes to the DM's capacity would charge the SWSM twice for the
+// same slots. An explicit p.MemQueue or p.Mem is used as given. ok is
 // false when the SWSM cannot match the DM within MaxEquivalentWindow.
 func (s *Search) EquivalentWindowRatio(p machine.Params) (ratio float64, ok bool, err error) {
 	if p.Window <= 0 {
@@ -345,11 +348,7 @@ func (s *Search) EquivalentWindowRatio(p machine.Params) (ratio float64, ok bool
 	if err != nil {
 		return 0, false, err
 	}
-	q := p
-	if q.MemQueue == 0 && q.Mem == nil {
-		q.MemQueue = machine.QueueFactor * p.Window
-	}
-	w, ok, err := s.EquivalentWindow(q, dm.Cycles)
+	w, ok, err := s.EquivalentWindow(p, dm.Cycles)
 	if err != nil {
 		return 0, false, err
 	}

@@ -1,0 +1,197 @@
+// Persistent on-disk result cache. A Store is the L2 behind a Runner's
+// in-memory map: simulation results keyed by a canonical hash of
+// (engine version, suite fingerprint, machine kind, parameters) survive
+// process restarts and are shared between concurrent repro runs.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"daesim/internal/engine"
+)
+
+// Store is a content-addressed, corruption-tolerant, on-disk result
+// cache. Layout is a directory of blobs: each entry lives in its own
+// file named by the SHA-256 of its key (two-level fan-out), written to a
+// temp file and atomically renamed into place, so concurrent writers —
+// parallel sweep workers, or two repro processes sharing one cache
+// directory — can only ever race to install identical, complete entries
+// (runs are deterministic), never interleave bytes. A reader that finds
+// a damaged entry (truncated JSON, checksum mismatch, foreign key)
+// counts it, deletes it, and reports a miss; the point is simply
+// re-simulated and re-installed.
+//
+// A Store is safe for concurrent use by multiple goroutines and multiple
+// processes.
+type Store struct {
+	dir string
+
+	hits, misses, writes, corrupt, writeErrs atomic.Int64
+}
+
+// StoreStats is a snapshot of a Store's traffic counters.
+type StoreStats struct {
+	// Hits and Misses count Get outcomes; Corrupt is the subset of
+	// misses caused by damaged entries (which are deleted on sight).
+	Hits, Misses, Corrupt int64
+	// Writes counts entries installed; WriteErrors counts failed
+	// installs (the cache degrades to pass-through, never fails a run).
+	Writes, WriteErrors int64
+}
+
+// entryFile is the on-disk format. Key catches cross-key collisions and
+// makes entries self-describing; Sum is the SHA-256 of the canonical
+// Result JSON and catches in-place damage that still parses.
+type entryFile struct {
+	Key    string          `json:"key"`
+	Sum    string          `json:"sum"`
+	Result json.RawMessage `json:"result"`
+}
+
+// OpenStore opens (creating if needed) a result cache rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("sweep: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: opening store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a key to its blob path: sha256 hex, fanned out on the first
+// byte so no single directory grows unbounded.
+func (s *Store) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	h := hex.EncodeToString(sum[:])
+	return filepath.Join(s.dir, h[:2], h[2:]+".json")
+}
+
+// Get returns the cached result for key, or ok=false on a miss. Damaged
+// entries are deleted and reported as misses.
+func (s *Store) Get(key string) (*engine.Result, bool) {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	var ent entryFile
+	if err := json.Unmarshal(data, &ent); err != nil {
+		return nil, s.evictCorrupt(key)
+	}
+	if ent.Key != key {
+		return nil, s.evictCorrupt(key)
+	}
+	sum := sha256.Sum256(ent.Result)
+	if hex.EncodeToString(sum[:]) != ent.Sum {
+		return nil, s.evictCorrupt(key)
+	}
+	var res engine.Result
+	if err := json.Unmarshal(ent.Result, &res); err != nil {
+		return nil, s.evictCorrupt(key)
+	}
+	s.hits.Add(1)
+	return &res, true
+}
+
+// evictCorrupt removes a damaged entry and reports the miss.
+func (s *Store) evictCorrupt(key string) bool {
+	s.corrupt.Add(1)
+	s.misses.Add(1)
+	os.Remove(s.path(key))
+	return false
+}
+
+// Put installs res under key. Best effort: a failed install is counted
+// and the run proceeds uncached.
+func (s *Store) Put(key string, res *engine.Result) {
+	body, err := json.Marshal(res)
+	if err != nil {
+		s.writeErrs.Add(1)
+		return
+	}
+	sum := sha256.Sum256(body)
+	data, err := json.Marshal(entryFile{Key: key, Sum: hex.EncodeToString(sum[:]), Result: body})
+	if err != nil {
+		s.writeErrs.Add(1)
+		return
+	}
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		s.writeErrs.Add(1)
+		return
+	}
+	// Write-to-temp + rename: installs are atomic, so a concurrent
+	// reader sees either no entry or a complete one, and racing writers
+	// (who by determinism carry identical bytes) both succeed.
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		s.writeErrs.Add(1)
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		s.writeErrs.Add(1)
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		s.writeErrs.Add(1)
+		return
+	}
+	s.writes.Add(1)
+}
+
+// Clear deletes every entry in the store, keeping the directory.
+func (s *Store) Clear() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("sweep: clearing store: %w", err)
+	}
+	for _, e := range entries {
+		if err := os.RemoveAll(filepath.Join(s.dir, e.Name())); err != nil {
+			return fmt.Errorf("sweep: clearing store: %w", err)
+		}
+	}
+	return nil
+}
+
+// Len reports the number of entries on disk (a scan; diagnostic use).
+func (s *Store) Len() int {
+	n := 0
+	fans, _ := os.ReadDir(s.dir)
+	for _, fan := range fans {
+		if !fan.IsDir() {
+			continue
+		}
+		blobs, _ := os.ReadDir(filepath.Join(s.dir, fan.Name()))
+		for _, b := range blobs {
+			if filepath.Ext(b.Name()) == ".json" {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Corrupt:     s.corrupt.Load(),
+		Writes:      s.writes.Load(),
+		WriteErrors: s.writeErrs.Load(),
+	}
+}

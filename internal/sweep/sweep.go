@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"daesim/internal/engine"
 	"daesim/internal/machine"
@@ -20,11 +21,52 @@ type Point struct {
 	P    machine.Params
 }
 
-// key is the memoization key. Custom memory models are not memoizable, so
-// points carrying Mem bypass the cache.
+// key is the in-memory memoization key. Custom memory models are not
+// memoizable, so points carrying Mem bypass the cache.
 type key struct {
 	kind machine.Kind
 	p    machine.Params
+}
+
+// entry is one in-flight or settled L1 slot. The first caller to reach a
+// point owns its entry and simulates (or loads from the Store); everyone
+// else blocks on ready — single-flight, so concurrent shards sweeping
+// overlapping points never duplicate a simulation.
+type entry struct {
+	ready chan struct{} // closed once res/err are settled
+	res   *engine.Result
+	err   error
+}
+
+// CacheStats counts where a Runner's results came from.
+type CacheStats struct {
+	// L1Hits are points served from the in-memory map, including callers
+	// that waited on another goroutine's in-flight simulation.
+	L1Hits int64
+	// StoreHits are points loaded from the persistent Store.
+	StoreHits int64
+	// Sims are simulations actually executed for cacheable points.
+	Sims int64
+	// Uncacheable are runs that bypassed both layers (custom Params.Mem).
+	Uncacheable int64
+}
+
+// Add accumulates other into s.
+func (s *CacheStats) Add(other CacheStats) {
+	s.L1Hits += other.L1Hits
+	s.StoreHits += other.StoreHits
+	s.Sims += other.Sims
+	s.Uncacheable += other.Uncacheable
+}
+
+// HitRate returns the fraction of cacheable points served without
+// simulating.
+func (s CacheStats) HitRate() float64 {
+	total := s.L1Hits + s.StoreHits + s.Sims
+	if total == 0 {
+		return 0
+	}
+	return float64(s.L1Hits+s.StoreHits) / float64(total)
 }
 
 // Runner executes points against one suite.
@@ -36,14 +78,20 @@ type Runner struct {
 	// this Runner (metrics.Search). Set it to 1 to force every consumer
 	// serial, e.g. for deterministic profiling.
 	Parallelism int
+	// Store, when non-nil, is the persistent L2 consulted between the
+	// in-memory map and the simulator. Set it before the first Run.
+	Store *Store
 
-	mu    sync.Mutex
-	cache map[key]*engine.Result
+	mu     sync.Mutex
+	cache  map[key]*entry
+	prefix string // engine version + suite fingerprint, built lazily
+
+	l1Hits, storeHits, sims, uncacheable atomic.Int64
 }
 
 // NewRunner returns a Runner for the suite.
 func NewRunner(s *machine.Suite) *Runner {
-	return &Runner{Suite: s, cache: make(map[key]*engine.Result)}
+	return &Runner{Suite: s, cache: make(map[key]*entry)}
 }
 
 // Run executes one point, consulting the cache.
@@ -51,31 +99,101 @@ func (r *Runner) Run(pt Point) (*engine.Result, error) {
 	return r.RunWith(nil, pt)
 }
 
+// storeKey returns the persistent key for a point: the engine version
+// tag and the suite's content fingerprint (workload identity, scale,
+// partition, lowering) joined with the canonical parameter encoding.
+// The fingerprint is hashed once per Runner, on first use.
+func (r *Runner) storeKey(pt Point) (string, bool) {
+	pk, ok := pt.P.CacheKey(pt.Kind)
+	if !ok {
+		return "", false
+	}
+	r.mu.Lock()
+	if r.prefix == "" {
+		r.prefix = engine.Version + "|" + r.Suite.Fingerprint() + "|"
+	}
+	p := r.prefix
+	r.mu.Unlock()
+	return p + pk, true
+}
+
 // RunWith executes one point on sim's reusable scratch (nil draws from
-// the engine's shared pool), consulting the cache. Cached Results are
-// shared between callers and must not be mutated.
+// the engine's shared pool), consulting the in-memory cache and then the
+// persistent Store. Returned Results are private copies: the canonical
+// cached Result never escapes, so callers may mutate what they get back.
 func (r *Runner) RunWith(sim *engine.Sim, pt Point) (*engine.Result, error) {
-	cacheable := pt.P.Mem == nil
-	var k key
-	if cacheable {
-		k = key{kind: pt.Kind, p: pt.P}
-		r.mu.Lock()
-		if res, ok := r.cache[k]; ok {
-			r.mu.Unlock()
-			return res, nil
-		}
+	if pt.P.Mem != nil {
+		r.uncacheable.Add(1)
+		return r.Suite.RunWith(sim, pt.Kind, pt.P)
+	}
+	// The key canonicalizes the retirement policy (RetireAuto resolves
+	// to a concrete policy, exactly as the engine and the store key see
+	// it), so an explicit-policy point and its equivalent auto-policy
+	// point share one entry instead of simulating twice.
+	kp := pt.P
+	kp.Retire = machine.ResolveRetire(kp.Retire)
+	k := key{kind: pt.Kind, p: kp}
+	r.mu.Lock()
+	if e, ok := r.cache[k]; ok {
 		r.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, e.err
+		}
+		r.l1Hits.Add(1)
+		return e.res.Clone(), nil
+	}
+	e := &entry{ready: make(chan struct{})}
+	r.cache[k] = e
+	r.mu.Unlock()
+
+	e.res, e.err = r.fill(sim, pt)
+	if e.err != nil {
+		// Drop the errored entry so later callers retry rather than
+		// replaying a possibly transient failure forever.
+		r.mu.Lock()
+		delete(r.cache, k)
+		r.mu.Unlock()
+		close(e.ready)
+		return nil, e.err
+	}
+	close(e.ready)
+	return e.res.Clone(), nil
+}
+
+// fill produces the canonical result for a cacheable point: from the
+// persistent store when possible, else by simulating (and installing the
+// result back into the store).
+func (r *Runner) fill(sim *engine.Sim, pt Point) (*engine.Result, error) {
+	sk, persistent := "", false
+	if r.Store != nil {
+		sk, persistent = r.storeKey(pt)
+		if persistent {
+			if res, ok := r.Store.Get(sk); ok {
+				r.storeHits.Add(1)
+				return res, nil
+			}
+		}
 	}
 	res, err := r.Suite.RunWith(sim, pt.Kind, pt.P)
 	if err != nil {
 		return nil, err
 	}
-	if cacheable {
-		r.mu.Lock()
-		r.cache[k] = res
-		r.mu.Unlock()
+	r.sims.Add(1)
+	if persistent {
+		r.Store.Put(sk, res)
 	}
 	return res, nil
+}
+
+// Stats returns a snapshot of the runner's cache traffic.
+func (r *Runner) Stats() CacheStats {
+	return CacheStats{
+		L1Hits:      r.l1Hits.Load(),
+		StoreHits:   r.storeHits.Load(),
+		Sims:        r.sims.Load(),
+		Uncacheable: r.uncacheable.Load(),
+	}
 }
 
 // RunAll executes all points, in parallel, preserving order. The first

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"reflect"
 	"sync/atomic"
 	"testing"
 
@@ -37,8 +38,42 @@ func TestRunCaches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
-		t.Fatal("identical points should return the cached result")
+	if a == b {
+		t.Fatal("callers must get private copies, not the shared cache entry")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("cached result differs from original: %+v vs %+v", a, b)
+	}
+	if st := r.Stats(); st.Sims != 1 || st.L1Hits != 1 {
+		t.Fatalf("want 1 sim and 1 L1 hit, got %+v", st)
+	}
+}
+
+func TestRunReturnsDefensiveCopies(t *testing.T) {
+	// Cached Results used to be shared pointers guarded only by a "must
+	// not be mutated" comment; this pins the defensive-copy contract: a
+	// caller scribbling on a returned Result must not poison later hits.
+	r := testRunner(t)
+	pt := Point{Kind: machine.DM, P: machine.Params{Window: 8, MD: 30}}
+	a, err := r.Run(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := a.Clone()
+	a.Cycles = -1
+	a.Ops = -1
+	for i := range a.Cores {
+		a.Cores[i].Issued = -1
+		for j := range a.Cores[i].IssueHist {
+			a.Cores[i].IssueHist[j] = -1
+		}
+	}
+	b, err := r.Run(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, b) {
+		t.Fatalf("mutating a returned Result leaked into the cache:\nwant %+v\ngot  %+v", want, b)
 	}
 }
 

@@ -202,23 +202,34 @@ func TRFD(scale int) *trace.Trace {
 // ADM models the pseudospectral air-quality model: many independent line
 // sweeps, each with a first-order carried smoothing recurrence. The loads
 // are affine and independent of the recurrence, so the AU decouples
-// fully; the DU is chain-bound within a line but lines overlap in larger
-// windows. Band: highly.
+// fully; the DU is chain-bound within a line, and the trace interleaves a
+// small batch of lines step by step — the schedule a software-pipelining
+// Fortran compiler produces for independent inner loops — so program
+// order carries fine-grained parallelism past the recurrence (the paper's
+// machines both assume compiler-scheduled code; a reorder-buffer SWSM is
+// throttled by program-order residency, so naive source order would
+// misrepresent the traces the paper measured). Band: highly.
 func ADM(scale int) *trace.Trace {
 	b := kernel.New("ADM")
 	const n = 32
+	const batch = 4 // lines interleaved by the compiler's schedule
 	lines := 320 * scale
 	x := b.Array("X", lines*n, 8)
 	y := b.Array("Y", lines*n, 8)
-	for l := 0; l < lines; l++ {
-		base := b.Int()
-		carry := b.FP(b.Load(x, l*n, base))
+	for l0 := 0; l0 < lines; l0 += batch {
+		var base, carry [batch]kernel.Val
+		for k := 0; k < batch; k++ {
+			base[k] = b.Int()
+			carry[k] = b.FP(b.Load(x, (l0+k)*n, base[k]))
+		}
 		for i := 1; i < n; i++ {
-			idx := b.Int(base)
-			v := b.Load(x, l*n+i, idx)
-			carry = b.FP(v, carry)
-			st := b.Int(base)
-			b.Store(y, l*n+i, carry, st)
+			for k := 0; k < batch; k++ {
+				idx := b.Int(base[k])
+				v := b.Load(x, (l0+k)*n+i, idx)
+				carry[k] = b.FP(v, carry[k])
+				st := b.Int(base[k])
+				b.Store(y, (l0+k)*n+i, carry[k], st)
+			}
 		}
 	}
 	return b.MustTrace()
@@ -257,27 +268,31 @@ func FLO52Q(scale int) *trace.Trace {
 			cell := r*cols + cc
 			// Mapped-coordinate metric arithmetic: FLO52 works on a
 			// curvilinear grid, so each cell's addresses need extra
-			// integer work beyond simple induction.
+			// integer work beyond simple induction. The metric terms for
+			// the two directions are independent of each other.
 			m1 := b.Int(base)
-			m2 := b.Int(m1)
-			i1 := b.Int(m2)
-			i2 := b.Int(m1)
+			m2 := b.Int(base)
+			i1 := b.Int(base)
+			i2 := b.Int(base)
 			west := b.Load(w, cell, i1)
 			east := b.Load(w, cell+1, i1)
 			north := b.Load(w, cell+cols, i2)
 			south := b.Load(w, cell+2*cols, i2)
 			center := b.Load(w, cell+cols+1, i2)
+			// The flux DAG is wide: the two direction fluxes join for the
+			// stored flux; the centre term folds into the row residual,
+			// not the flux path.
 			f1 := b.FP(west, east)
 			f2 := b.FP(north, south)
-			f3 := b.FP(f1, f2)
-			f4 := b.FP(f3, center)
-			if cc%8 != 0 && carry.Valid() {
+			f4 := b.FP(f1, f2)
+			fc := b.FP(center)
+			if cc%2 != 0 && carry.Valid() {
 				carry = b.FP(f4, carry)
 			} else {
-				carry = f4
+				carry = b.FP(f4, fc)
 			}
-			b.Store(fl, cell, f4, i1)
-			b.Store(res, cell, carry, i2)
+			b.Store(fl, cell, f4, m1)
+			b.Store(res, cell, carry, m2)
 		}
 	}
 	return b.MustTrace()
@@ -320,94 +335,131 @@ func DYFESM(scale int) *trace.Trace {
 }
 
 // QCD models the lattice-gauge Monte Carlo code: per site, a staggered
-// neighbour gather (an index load on every fourth site) and a deep
-// multiply-chain link update (depth eight, standing in for SU(3) matrix
-// arithmetic), with a carried product within each block of sites. The
-// deep chains and periodic self-loads make it moderately effective.
+// neighbour gather (an index load shared by each 4-site block) and a wide
+// link update (eight FP ops in parallel depth-3 rows, standing in for
+// SU(3) matrix arithmetic — nine short dot products, wide rather than
+// chained), with running products split into two alternating partials per
+// block. The trace interleaves block pairs site by site — the schedule a
+// software-pipelining compiler produces for independent blocks (see ADM).
+// Periodic self-loads keep it moderately effective.
 func QCD(scale int) *trace.Trace {
 	b := kernel.New("QCD")
 	const spinePeriod = 32
+	const batch = 2 // 4-site blocks interleaved by the compiler's schedule
 	sites := 1400 * scale
 	ord := b.Array("ORD", sites/spinePeriod+2, 8)
 	nbr := b.Array("NBR", sites, 8)
 	u := b.Array("U", 4*sites, 8)
 	out := b.Array("V", sites, 8)
 	cursor := b.Int() // serialized sweep-ordering cursor
-	var ix kernel.Val
-	var carry kernel.Val
-	for s := 0; s < sites; s++ {
-		if s%spinePeriod == 0 {
-			ov := b.Load(ord, s/spinePeriod, cursor)
+	for s0 := 0; s0 < sites; s0 += 4 * batch {
+		if s0%spinePeriod == 0 {
+			ov := b.Load(ord, s0/spinePeriod, cursor)
 			cursor = b.Int(ov) // staggered sweep order chains through the table
 		}
-		base := b.Int(cursor)
-		if s%4 == 0 {
-			ix = b.Load(nbr, s, base) // staggered neighbour index (self-load)
-			carry = kernel.Val{}      // block boundary resets the carried product
+		var base, ix [batch]kernel.Val
+		var carry [batch][2]kernel.Val
+		for k := 0; k < batch; k++ {
+			base[k] = b.Int(cursor)
+			ix[k] = b.Load(nbr, s0+4*k, base[k]) // staggered neighbour index (self-load)
 		}
-		a1 := b.Int(ix, base)
-		a2 := b.Int(ix, base)
-		l1 := b.Load(u, (4*s)%(4*sites), a1)
-		l2 := b.Load(u, (4*s+1)%(4*sites), a2)
-		l3 := b.Load(u, (4*s+2)%(4*sites), a1)
-		l4 := b.Load(u, (4*s+3)%(4*sites), a2)
-		m1 := b.FP(l1, l2)
-		m2 := b.FP(l3, l4)
-		h := b.FP(m1, m2)
-		h = b.FPChain(5, h)
-		if carry.Valid() {
-			carry = b.FP(h, carry)
-		} else {
-			carry = h
+		for j := 0; j < 4; j++ {
+			for k := 0; k < batch; k++ {
+				s := s0 + 4*k + j
+				a1 := b.Int(ix[k], base[k])
+				a2 := b.Int(ix[k], base[k])
+				l1 := b.Load(u, (4*s)%(4*sites), a1)
+				l2 := b.Load(u, (4*s+1)%(4*sites), a2)
+				l3 := b.Load(u, (4*s+2)%(4*sites), a1)
+				l4 := b.Load(u, (4*s+3)%(4*sites), a2)
+				m1 := b.FP(l1, l2)
+				m2 := b.FP(l3, l4)
+				m3 := b.FP(l1, l3)
+				m4 := b.FP(l2, l4)
+				h1 := b.FP(m1, m2)
+				h2 := b.FP(m3, m4)
+				h := b.FP(h1, h2)
+				// Alternating running partials (real and imaginary parts).
+				p := j % 2
+				if carry[k][p].Valid() {
+					carry[k][p] = b.FP(h1, carry[k][p])
+				} else {
+					carry[k][p] = h1
+				}
+				if j == 3 {
+					b.Store(out, s, b.FP(carry[k][0], carry[k][1]), base[k])
+				} else {
+					b.Store(out, s, h, base[k])
+				}
+			}
 		}
-		b.Store(out, s, carry, base)
 	}
 	return b.MustTrace()
 }
 
 // MDG models the molecular-dynamics water code: per molecule, a walk of
 // its neighbour list (one index self-load per neighbour, three coordinate
-// gathers through it), a depth-six force computation and a carried
-// accumulation; every fourth molecule the linked-cell list cursor chases
-// through memory, serializing a slice of the address stream. Band:
-// moderately (lowest of the band).
+// gathers through per-coordinate wrap terms), a shallow wide force DAG
+// (pairwise terms combine in parallel, as the real code's unrolled inner
+// loop schedules them) feeding two interleaved carried partial sums;
+// every tenth molecule the linked-cell list cursor chases through
+// memory, serializing a slice of the address stream. The trace
+// interleaves molecule pairs neighbour by neighbour — the schedule a
+// software-pipelining compiler produces for independent outer iterations
+// — so program order carries the cross-molecule parallelism (see ADM).
+// Band: moderately (lowest of the band).
 func MDG(scale int) *trace.Trace {
 	b := kernel.New("MDG")
 	const neighbors = 6
 	const spinePeriod = 10 // molecules per linked-cell chase
+	const batch = 4        // molecules interleaved by the compiler's schedule
 	mols := 340 * scale
 	cellList := b.Array("CELL", mols/spinePeriod+2, 8)
 	nbr := b.Array("NBR", mols*neighbors, 8)
 	xyz := b.Array("XYZ", 3*mols*neighbors, 8)
 	f := b.Array("F", 3*mols, 8)
 	cursor := b.Int() // linked-cell list cursor
-	for m := 0; m < mols; m++ {
-		if m%spinePeriod == 0 {
-			cv := b.Load(cellList, m/spinePeriod, cursor)
-			cursor = b.Int(cv) // next cell depends on this cell's entry
+	for m0 := 0; m0 < mols; m0 += batch {
+		var mb [batch]kernel.Val
+		var acc [batch][2]kernel.Val
+		for k := 0; k < batch; k++ {
+			m := m0 + k
+			if m%spinePeriod == 0 {
+				cv := b.Load(cellList, m/spinePeriod, cursor)
+				cursor = b.Int(cv) // next cell depends on this cell's entry
+			}
+			mb[k] = b.Int(cursor)
 		}
-		mb := b.Int(cursor)
-		var acc kernel.Val
 		for n := 0; n < neighbors; n++ {
-			ix := b.Load(nbr, m*neighbors+n, mb) // neighbour index (self-load)
-			// Periodic-image wrap arithmetic on the neighbour index.
-			iw := b.Int(ix)
-			ia := b.Int(iw)
-			c1 := b.Load(xyz, (3*(m*neighbors+n))%(3*mols*neighbors), ia)
-			c2 := b.Load(xyz, (3*(m*neighbors+n)+1)%(3*mols*neighbors), ia)
-			c3 := b.Load(xyz, (3*(m*neighbors+n)+2)%(3*mols*neighbors), ia)
-			d1 := b.FP(c1, c2)
-			d2 := b.FP(c3, d1)
-			d3 := b.FP(d2)
-			d4 := b.FP(d3, d1)
-			if acc.Valid() {
-				acc = b.FP(d4, acc)
-			} else {
-				acc = b.FP(d4)
+			for k := 0; k < batch; k++ {
+				m := m0 + k
+				ix := b.Load(nbr, m*neighbors+n, mb[k]) // neighbour index (self-load)
+				// Periodic-image wrap arithmetic on the neighbour index:
+				// each coordinate wraps through its own independent term
+				// (the real code wraps x, y and z separately).
+				iw := b.Int(ix)
+				iw2 := b.Int(ix)
+				ia := b.Int(ix)
+				c1 := b.Load(xyz, (3*(m*neighbors+n))%(3*mols*neighbors), ia)
+				c2 := b.Load(xyz, (3*(m*neighbors+n)+1)%(3*mols*neighbors), iw)
+				c3 := b.Load(xyz, (3*(m*neighbors+n)+2)%(3*mols*neighbors), iw2)
+				// Shallow force DAG (the real code's pairwise terms are
+				// wide, not chained) feeding two interleaved partial sums.
+				d1 := b.FP(c1, c2)
+				d2 := b.FP(c3)
+				d4 := b.FP(d1, d2)
+				a := n % 2
+				if acc[k][a].Valid() {
+					acc[k][a] = b.FP(d4, acc[k][a])
+				} else {
+					acc[k][a] = b.FP(d4)
+				}
 			}
 		}
-		st := b.Int(mb)
-		b.Store(f, (3*m)%(3*mols), acc, st)
+		for k := 0; k < batch; k++ {
+			st := b.Int(mb[k])
+			b.Store(f, (3*(m0+k))%(3*mols), b.FP(acc[k][0], acc[k][1]), st)
+		}
 	}
 	return b.MustTrace()
 }
