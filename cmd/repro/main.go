@@ -4,14 +4,20 @@
 // Usage:
 //
 //	repro [-out results] [-scale 1] [-par 0] [-cache dir] [-cache-clear] [-cache-stats file]
+//	      [-cache-gc policy] [-remote url]
 //	      [-exp all|table1|fig4|fig5|fig6|fig7|fig8|fig9|cutoffs|bigwindow|esw|ablations|expansion|policies|retire|cache|complexity]
 //
 // With -cache, simulation results are read from and written to a
 // persistent on-disk store keyed by engine version, workload content and
 // parameters, so a re-run (or an overlapping experiment) skips every
-// point it has seen before; -cache-clear empties the store first, and
-// -cache-stats writes the run's hit/miss counters as JSON. The summary
-// always prints to stderr, keeping stdout byte-comparable across runs.
+// point it has seen before; -cache-clear empties the store first,
+// -cache-gc trims it after the run to the given bounds (e.g.
+// "max-entries=5000,max-bytes=256mb,max-age=168h", LRU by access time;
+// DESIGN.md §10), and -cache-stats writes the run's hit/miss counters as
+// JSON. With -remote, cacheable simulations that miss the local layers
+// are executed by a running sweepd daemon at the given base URL (e.g.
+// http://127.0.0.1:8077) instead of locally. The summary always prints
+// to stderr, keeping stdout byte-comparable across runs.
 //
 // TestUsageEnumeratesExperiments keeps the usage line above, the -exp
 // flag help and the dispatch table in sync.
@@ -25,6 +31,7 @@ import (
 	"os"
 	"strings"
 
+	"daesim/internal/daemon"
 	"daesim/internal/experiments"
 	"daesim/internal/sweep"
 )
@@ -98,6 +105,8 @@ func main() {
 	cacheDir := flag.String("cache", "", "persistent result-cache directory (empty = cache disabled)")
 	cacheClear := flag.Bool("cache-clear", false, "empty the persistent cache before running")
 	cacheStats := flag.String("cache-stats", "", "write cache hit/miss statistics as JSON to this file")
+	cacheGC := flag.String("cache-gc", "", "trim the persistent cache after the run, e.g. max-entries=5000,max-bytes=256mb,max-age=168h")
+	remote := flag.String("remote", "", "sweepd base URL: run cacheable simulations on a daemon instead of locally")
 	flag.Parse()
 
 	ctx := experiments.NewContext()
@@ -118,6 +127,24 @@ func main() {
 	} else if *cacheClear {
 		fatal(fmt.Errorf("-cache-clear needs -cache"))
 	}
+	gcPolicy := sweep.GCPolicy{}
+	if *cacheGC != "" {
+		if ctx.Cache == nil {
+			fatal(fmt.Errorf("-cache-gc needs -cache"))
+		}
+		pol, err := sweep.ParseGCPolicy(*cacheGC)
+		if err != nil {
+			fatal(err)
+		}
+		gcPolicy = pol
+	}
+	if *remote != "" {
+		client := daemon.NewClient(*remote)
+		if err := client.Health(); err != nil {
+			fatal(fmt.Errorf("-remote: %w", err))
+		}
+		ctx.Remote = client.Run
+	}
 
 	if err := run(ctx, *exp, *out); err != nil {
 		fatal(err)
@@ -125,6 +152,22 @@ func main() {
 	if err := reportCache(ctx, *cacheStats); err != nil {
 		fatal(err)
 	}
+	if *cacheGC != "" {
+		if err := runCacheGC(ctx.Cache, gcPolicy, os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runCacheGC trims the store post-run and prints the pinned one-line
+// summary (TestCacheGCSummary) to w.
+func runCacheGC(store *sweep.Store, pol sweep.GCPolicy, w io.Writer) error {
+	res, err := store.GC(pol)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "repro: cache-gc (%s): %s\n", pol, res)
+	return nil
 }
 
 func fatal(err error) {
@@ -161,8 +204,8 @@ type cacheReport struct {
 func reportCache(ctx *experiments.Context, statsPath string) error {
 	stats := ctx.CacheStats()
 	report := cacheReport{Runner: stats, HitRate: stats.HitRate(), Store: ctx.StoreStats()}
-	fmt.Fprintf(os.Stderr, "repro: cache: %d sims, %d L1 hits, %d store hits (hit rate %.1f%%), %d uncacheable; store: %d writes, %d corrupt\n",
-		stats.Sims, stats.L1Hits, stats.StoreHits, 100*report.HitRate, stats.Uncacheable,
+	fmt.Fprintf(os.Stderr, "repro: cache: %d sims, %d L1 hits, %d store hits, %d remote (hit rate %.1f%%), %d uncacheable; store: %d writes, %d corrupt\n",
+		stats.Sims, stats.L1Hits, stats.StoreHits, stats.RemoteHits, 100*report.HitRate, stats.Uncacheable,
 		report.Store.Writes, report.Store.Corrupt)
 	if statsPath == "" {
 		return nil

@@ -1,11 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
+	"io/fs"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"daesim/internal/engine"
 	"daesim/internal/experiments"
+	"daesim/internal/sweep"
 )
 
 // TestUsageEnumeratesExperiments keeps three things in sync: the
@@ -80,6 +86,54 @@ func TestUsageEnumeratesExperiments(t *testing.T) {
 		if !helpWords[name] {
 			t.Errorf("-exp flag help omits experiment %q", name)
 		}
+	}
+}
+
+// TestCacheGCSummary pins the -cache-gc stderr line: scripts (and the
+// CI smoke job) grep it, so format drift is a breaking change.
+func TestCacheGCSummary(t *testing.T) {
+	dir := t.TempDir()
+	store, err := sweep.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		store.Put(fmt.Sprintf("k%d", i), &engine.Result{Cycles: int64(i)})
+	}
+	// All three entries marshal to the same number of bytes (single-digit
+	// cycle counts), so the summary's byte totals are exact multiples.
+	var size int64
+	if err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		size = info.Size()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if size == 0 {
+		t.Fatal("no store entries written")
+	}
+
+	pol, err := sweep.ParseGCPolicy("max-entries=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runCacheGC(store, pol, &buf); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("repro: cache-gc (max-entries=1): scanned 3 entries, evicted 2 (%d B), kept 1 (%d B)\n", 2*size, size)
+	if buf.String() != want {
+		t.Fatalf("summary drifted:\ngot  %q\nwant %q", buf.String(), want)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store holds %d entries after GC, want 1", store.Len())
 	}
 }
 

@@ -1,0 +1,133 @@
+// Command sweepd serves simulations and sweeps from a long-lived
+// daemon: one memoizing, single-flight runner per (workload, scale,
+// partition policy) over a shared persistent result store, behind an
+// HTTP/JSON API (DESIGN.md §10).
+//
+// Usage:
+//
+//	sweepd [-addr :8077] [-cache dir] [-par 0] [-max-concurrent 0]
+//	       [-timeout 0] [-gc ""] [-gc-interval 10m] [-drain 30s] [-quiet]
+//
+// Endpoints: POST /v1/run (one point), POST /v1/sweep (a batch, sharded
+// across the bounded pool), POST /v1/search (equivalent-window, ratio
+// and crossover searches), GET /v1/cache/stats, POST /v1/cache/gc, and
+// GET /healthz. -gc takes a sweep GC policy ("max-entries=N,
+// max-bytes=N,max-age=DUR") enforced every -gc-interval in the
+// background; /v1/cache/gc remains available on demand either way.
+//
+// On SIGTERM or SIGINT the daemon stops accepting connections, drains
+// in-flight requests for up to -drain, then exits with a final cache
+// summary on stderr. Clients: repro -remote <url> routes a local
+// reproduction's cacheable simulations here; examples/daemon shows the
+// raw API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"daesim/internal/daemon"
+	"daesim/internal/sweep"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8077", "listen address")
+		cacheDir   = flag.String("cache", "", "persistent result-cache directory (empty = memory only)")
+		par        = flag.Int("par", 0, "max concurrent simulations per sweep and search (0 = GOMAXPROCS)")
+		maxConc    = flag.Int("max-concurrent", 0, "max simulation requests executing at once (0 = unlimited)")
+		timeout    = flag.Duration("timeout", 0, "per-request timeout, queue wait included (0 = none)")
+		gcSpec     = flag.String("gc", "", "background store GC policy, e.g. max-entries=5000,max-bytes=256mb,max-age=168h (empty = no background GC)")
+		gcInterval = flag.Duration("gc-interval", 10*time.Minute, "background GC period (with -gc)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight requests")
+		quiet      = flag.Bool("quiet", false, "suppress per-request logging")
+	)
+	flag.Parse()
+	if err := run(*addr, *cacheDir, *par, *maxConc, *timeout, *gcSpec, *gcInterval, *drain, *quiet); err != nil {
+		fmt.Fprintf(os.Stderr, "sweepd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, cacheDir string, par, maxConc int, timeout time.Duration, gcSpec string, gcInterval, drain time.Duration, quiet bool) error {
+	cfg := daemon.Config{
+		Parallelism:    par,
+		MaxConcurrent:  maxConc,
+		RequestTimeout: timeout,
+		GCInterval:     gcInterval,
+	}
+	if !quiet {
+		cfg.Log = log.New(os.Stderr, "sweepd: ", log.LstdFlags)
+	}
+	if cacheDir != "" {
+		store, err := sweep.OpenStore(cacheDir)
+		if err != nil {
+			return err
+		}
+		cfg.Store = store
+	}
+	if gcSpec != "" {
+		if cfg.Store == nil {
+			return fmt.Errorf("-gc needs -cache")
+		}
+		pol, err := sweep.ParseGCPolicy(gcSpec)
+		if err != nil {
+			return err
+		}
+		cfg.GCPolicy = pol
+	}
+
+	server := daemon.NewServer(cfg)
+	httpServer := &http.Server{
+		Addr:              addr,
+		Handler:           server.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// SIGTERM/SIGINT begin the graceful drain: stop accepting, let
+	// in-flight sweeps finish (up to the drain budget), then report.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	go server.GCLoop(ctx)
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpServer.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "sweepd: listening on %s (cache %s)\n", addr, orNone(cacheDir))
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "sweepd: draining...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := httpServer.Shutdown(shutdownCtx)
+	stats := server.Stats()
+	fmt.Fprintf(os.Stderr, "sweepd: served %d requests: %d sims, %d L1 hits, %d store hits (hit rate %.1f%%); store: %d writes, %d GC evictions\n",
+		stats.Requests, stats.Runner.Sims, stats.Runner.L1Hits, stats.Runner.StoreHits,
+		100*stats.HitRate, stats.Store.Writes, stats.Store.GCEvictions)
+	if err != nil {
+		return fmt.Errorf("drain incomplete after %s: %w", drain, err)
+	}
+	return nil
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}

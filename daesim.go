@@ -23,6 +23,7 @@
 package daesim
 
 import (
+	"daesim/internal/daemon"
 	"daesim/internal/engine"
 	"daesim/internal/experiments"
 	"daesim/internal/isa"
@@ -143,11 +144,17 @@ func DefaultTiming(md int) Timing { return isa.DefaultTiming(md) }
 // Store adds a persistent on-disk layer behind a Runner's in-memory
 // cache: results survive process restarts, keyed by engine version,
 // workload content fingerprint and canonical parameters, so re-runs skip
-// every point they have seen before (DESIGN.md §9).
+// every point they have seen before (DESIGN.md §9), and Store.GC keeps
+// it bounded (GCPolicy). A DaemonClient serves the same sweeps from a
+// long-lived sweepd process instead of simulating locally
+// (DESIGN.md §10).
 type (
 	// Runner is a parallel, memoizing simulation executor for one Suite.
 	// Set Runner.Store to persist results across processes.
 	Runner = sweep.Runner
+	// Point identifies one simulation for a Runner or a DaemonClient: a
+	// machine kind plus parameters.
+	Point = sweep.Point
 	// Search runs equivalent-window and crossover searches against a
 	// Runner (see NewSearch).
 	Search = metrics.Search
@@ -158,6 +165,20 @@ type (
 	CacheStats = sweep.CacheStats
 	// StoreStats is a snapshot of a Store's traffic counters.
 	StoreStats = sweep.StoreStats
+	// GCPolicy bounds a Store for garbage collection (Store.GC): entry
+	// count, total bytes, and age since last access; LRU entries are
+	// evicted first. Zero fields are unbounded.
+	GCPolicy = sweep.GCPolicy
+	// GCResult reports one Store.GC pass (entries scanned, evicted, kept).
+	GCResult = sweep.GCResult
+	// DaemonClient talks to a running sweepd daemon (cmd/sweepd): run
+	// single points, sharded sweeps and equivalent-window searches on a
+	// long-lived server with a shared persistent cache, query its cache
+	// statistics, and trigger store GC. Attach DaemonClient.Run to
+	// Experiments.Remote (or, bound to one workload, Runner.Remote) to
+	// route a local sweep's cacheable simulations through the daemon —
+	// repro -remote is exactly that wiring. See DESIGN.md §10.
+	DaemonClient = daemon.Client
 )
 
 // NewRunner returns a memoizing Runner for the suite.
@@ -171,6 +192,15 @@ func OpenStore(dir string) (*Store, error) { return sweep.OpenStore(dir) }
 // NewSearch returns a Search against the runner. Hold one per sweep so
 // its per-worker scratch contexts stay warm across search points.
 func NewSearch(r *Runner) *Search { return metrics.NewSearch(r) }
+
+// ParseGCPolicy parses a comma-separated Store GC bound list, e.g.
+// "max-entries=500,max-bytes=64mb,max-age=168h" (the syntax of
+// repro -cache-gc and sweepd -gc). Omitted bounds are unlimited.
+func ParseGCPolicy(spec string) (GCPolicy, error) { return sweep.ParseGCPolicy(spec) }
+
+// NewDaemonClient returns a client for the sweepd daemon at baseURL
+// (e.g. "http://127.0.0.1:8077").
+func NewDaemonClient(baseURL string) *DaemonClient { return daemon.NewClient(baseURL) }
 
 // Metrics.
 var (

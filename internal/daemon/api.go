@@ -1,0 +1,270 @@
+// Package daemon implements sweepd, the long-lived simulation service:
+// the HTTP/JSON wire protocol shared by server and client, the Server
+// that owns per-workload memoizing runners (single-flight L1) over one
+// shared persistent sweep.Store (L2), and the thin Client that lets a
+// local sweep — repro -remote, or any sweep.Runner with its Remote hook
+// set — route cacheable simulations through a running daemon instead of
+// simulating locally.
+//
+// Endpoints (DESIGN.md §10 documents the full schemas):
+//
+//	POST /v1/run         one (workload, machine, params) point → Result
+//	POST /v1/sweep       a batch of points, sharded across the pool
+//	POST /v1/search      equivalent-window / ratio / crossover searches
+//	GET  /v1/cache/stats runner + store cache counters
+//	POST /v1/cache/gc    trim the persistent store to given bounds
+//	GET  /healthz        liveness (never throttled by the request limit)
+package daemon
+
+import (
+	"fmt"
+
+	"daesim/internal/engine"
+	"daesim/internal/machine"
+	"daesim/internal/partition"
+	"daesim/internal/sweep"
+)
+
+// Params is the wire form of machine.Params. Every simulation-visible
+// field crosses the wire explicitly except Mem: a custom MemModel is
+// arbitrary local code with no serialized identity, so points carrying
+// one are not remotable (they are also the points sweep.Runner never
+// routes through its Remote hook). TestWireParamsCoverMachineParams
+// pins the field count against machine.Params, so adding a parameter
+// without extending the protocol fails the build gate.
+type Params struct {
+	Window        int    `json:"window,omitempty"`
+	AUWindow      int    `json:"au_window,omitempty"`
+	DUWindow      int    `json:"du_window,omitempty"`
+	MD            int    `json:"md,omitempty"`
+	FPLat         int    `json:"fp_lat,omitempty"`
+	CopyLat       int    `json:"copy_lat,omitempty"`
+	AUWidth       int    `json:"au_width,omitempty"`
+	DUWidth       int    `json:"du_width,omitempty"`
+	Width         int    `json:"width,omitempty"`
+	DispatchWidth int    `json:"dispatch_width,omitempty"`
+	MemQueue      int    `json:"mem_queue,omitempty"`
+	CollectESW    bool   `json:"collect_esw,omitempty"`
+	HoldSendSlots bool   `json:"hold_send_slots,omitempty"`
+	Retire        string `json:"retire,omitempty"` // "", "auto", "at-complete", "in-order"
+}
+
+// ToParams converts machine parameters to their wire form. It fails on
+// points carrying a custom Params.Mem (not remotable, see Params).
+func ToParams(p machine.Params) (Params, error) {
+	if p.Mem != nil {
+		return Params{}, fmt.Errorf("daemon: points with a custom memory model cannot be simulated remotely")
+	}
+	retire := ""
+	if p.Retire != machine.RetireAuto {
+		retire = p.Retire.String()
+	}
+	return Params{
+		Window: p.Window, AUWindow: p.AUWindow, DUWindow: p.DUWindow,
+		MD: p.MD, FPLat: p.FPLat, CopyLat: p.CopyLat,
+		AUWidth: p.AUWidth, DUWidth: p.DUWidth, Width: p.Width,
+		DispatchWidth: p.DispatchWidth, MemQueue: p.MemQueue,
+		CollectESW: p.CollectESW, HoldSendSlots: p.HoldSendSlots,
+		Retire: retire,
+	}, nil
+}
+
+// Machine converts wire parameters back to machine.Params.
+func (w Params) Machine() (machine.Params, error) {
+	p := machine.Params{
+		Window: w.Window, AUWindow: w.AUWindow, DUWindow: w.DUWindow,
+		MD: w.MD, FPLat: w.FPLat, CopyLat: w.CopyLat,
+		AUWidth: w.AUWidth, DUWidth: w.DUWidth, Width: w.Width,
+		DispatchWidth: w.DispatchWidth, MemQueue: w.MemQueue,
+		CollectESW: w.CollectESW, HoldSendSlots: w.HoldSendSlots,
+	}
+	switch w.Retire {
+	case "", "auto":
+		p.Retire = machine.RetireAuto
+	case "at-complete":
+		p.Retire = machine.RetireAtComplete
+	case "in-order":
+		p.Retire = machine.RetireInOrder
+	default:
+		return p, fmt.Errorf("daemon: unknown retire policy %q (want auto, at-complete, in-order)", w.Retire)
+	}
+	return p, nil
+}
+
+// Point is the wire form of sweep.Point.
+type Point struct {
+	Kind   string `json:"kind"` // "DM" or "SWSM"
+	Params Params `json:"params"`
+}
+
+// ToPoint converts a sweep point to its wire form.
+func ToPoint(pt sweep.Point) (Point, error) {
+	wp, err := ToParams(pt.P)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{Kind: pt.Kind.String(), Params: wp}, nil
+}
+
+// Sweep converts a wire point back to a sweep.Point.
+func (w Point) Sweep() (sweep.Point, error) {
+	kind, err := ParseKind(w.Kind)
+	if err != nil {
+		return sweep.Point{}, err
+	}
+	p, err := w.Params.Machine()
+	if err != nil {
+		return sweep.Point{}, err
+	}
+	return sweep.Point{Kind: kind, P: p}, nil
+}
+
+// ParseKind parses a machine kind name as printed by machine.Kind.String.
+func ParseKind(s string) (machine.Kind, error) {
+	switch s {
+	case "DM":
+		return machine.DM, nil
+	case "SWSM":
+		return machine.SWSM, nil
+	default:
+		return 0, fmt.Errorf("daemon: unknown machine kind %q (want DM or SWSM)", s)
+	}
+}
+
+// ParsePolicy parses a partition policy name as printed by
+// partition.Policy.String; empty means the default classic partition.
+func ParsePolicy(s string) (partition.Policy, error) {
+	switch s {
+	case "", "classic":
+		return partition.Classic, nil
+	case "slice-only":
+		return partition.SliceOnly, nil
+	case "balance":
+		return partition.Balance, nil
+	default:
+		return 0, fmt.Errorf("daemon: unknown partition policy %q (want classic, slice-only, balance)", s)
+	}
+}
+
+// Target identifies the suite a request runs against: a workload at a
+// scale under a partition policy. The zero values mean scale 1 and the
+// classic partition.
+//
+// EngineVersion and Fingerprint, when set, make the daemon refuse
+// (HTTP 409) to answer from a skewed build: a daemon left running
+// across an engine-semantics bump or a workload recalibration would
+// otherwise return results the client's own cache keys could never
+// produce — and the client would install them into its local store
+// under its own version key, poisoning exactly the entries the §9 key
+// scheme exists to invalidate. The Client always sends its linked
+// engine.Version; sweeps routed through sweep.Runner.Remote also send
+// the local suite's content fingerprint.
+type Target struct {
+	Workload string `json:"workload"`
+	Scale    int    `json:"scale,omitempty"`
+	Policy   string `json:"policy,omitempty"`
+	// EngineVersion, when non-empty, must equal the daemon's
+	// engine.Version.
+	EngineVersion string `json:"engine_version,omitempty"`
+	// Fingerprint, when non-empty, must equal the daemon suite's
+	// machine.Suite.Fingerprint().
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// RunRequest is the POST /v1/run body: one simulation point.
+type RunRequest struct {
+	Target
+	Point
+}
+
+// RunResponse is the POST /v1/run reply.
+type RunResponse struct {
+	Result *engine.Result `json:"result"`
+}
+
+// SweepRequest is the POST /v1/sweep body: a batch of points against one
+// suite, executed by the daemon's bounded worker pool with the same
+// memoization as any local sweep.
+type SweepRequest struct {
+	Target
+	Points []Point `json:"points"`
+}
+
+// SweepResponse is the POST /v1/sweep reply; Results[i] answers
+// Points[i].
+type SweepResponse struct {
+	Results []*engine.Result `json:"results"`
+}
+
+// Search operations for SearchRequest.Op.
+const (
+	// SearchWindow finds the smallest SWSM window meeting Target cycles
+	// (metrics.Search.EquivalentWindow).
+	SearchWindow = "window"
+	// SearchRatio runs the DM at the given params and reports the
+	// equivalent-window ratio of Figures 7-9.
+	SearchRatio = "ratio"
+	// SearchCrossover scans Windows for the first SWSM-wins window.
+	SearchCrossover = "crossover"
+)
+
+// SearchRequest is the POST /v1/search body: an equivalent-window search
+// against one suite, probed through the daemon's shared cache.
+type SearchRequest struct {
+	Target
+	// Op selects the search: SearchWindow, SearchRatio or SearchCrossover.
+	Op string `json:"op"`
+	// Params configures the probes; Params.Window is the DM window for
+	// ratio searches and the bracket hint for window searches.
+	Params Params `json:"params"`
+	// TargetCycles is the time to match (SearchWindow only).
+	TargetCycles int64 `json:"target_cycles,omitempty"`
+	// Windows is the ascending scan grid (SearchCrossover only).
+	Windows []int `json:"windows,omitempty"`
+}
+
+// SearchResponse is the POST /v1/search reply. OK is false when the
+// search saturated (no window within metrics.MaxEquivalentWindow, or no
+// crossover in the grid).
+type SearchResponse struct {
+	Window int     `json:"window,omitempty"`
+	Ratio  float64 `json:"ratio,omitempty"`
+	OK     bool    `json:"ok"`
+}
+
+// GCRequest is the POST /v1/cache/gc body; zero fields are unbounded,
+// matching sweep.GCPolicy. MaxAge uses time.Duration syntax ("24h").
+type GCRequest struct {
+	MaxEntries int    `json:"max_entries,omitempty"`
+	MaxBytes   int64  `json:"max_bytes,omitempty"`
+	MaxAge     string `json:"max_age,omitempty"`
+}
+
+// StatsResponse is the GET /v1/cache/stats reply.
+type StatsResponse struct {
+	// Runner aggregates cache traffic across every runner the daemon has
+	// built; HitRate is its composite hit rate.
+	Runner  sweep.CacheStats `json:"runner"`
+	HitRate float64          `json:"hit_rate"`
+	// Store is the persistent layer's counters and StoreEntries its
+	// current on-disk entry count (zero values when no store is attached).
+	Store        sweep.StoreStats `json:"store"`
+	StoreEntries int              `json:"store_entries"`
+	// UptimeSeconds and Requests describe the serving process.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      int64   `json:"requests"`
+}
+
+// HealthResponse is the GET /healthz reply. EngineVersion lets clients
+// and probes detect a version-skewed daemon before routing work to it
+// (Client.Health checks it).
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	EngineVersion string  `json:"engine_version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

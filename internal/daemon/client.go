@@ -1,0 +1,206 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"daesim/internal/engine"
+	"daesim/internal/sweep"
+)
+
+// Client talks to a running sweepd. Its Run method has the shape
+// experiments.Context.Remote (and, bound to one workload,
+// sweep.Runner.Remote) expects, so attaching a Client routes every
+// cacheable simulation of a local sweep through the daemon's shared
+// cache; repro -remote is exactly that wiring. Every request pins the
+// client's engine.Version (and, through the Remote path, the local
+// suite fingerprint), so a version-skewed daemon refuses with 409
+// instead of answering with results from a different build. A Client
+// is safe for concurrent use.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8077".
+	BaseURL string
+	// HTTP is the underlying client. The default applies a generous
+	// overall timeout (15 minutes — cold sweeps of large point sets are
+	// legitimately slow) so a wedged daemon eventually fails the run
+	// loudly rather than hanging it forever; replace it to tune.
+	HTTP *http.Client
+	// Policy optionally pins a non-default partition policy for the
+	// suites remote runs execute against ("classic" when empty).
+	Policy string
+}
+
+// defaultHTTPClient bounds requests to a daemon that accepted the
+// connection but never answers (wedged, SIGSTOPped, or drowning in a
+// concurrency-limit queue).
+var defaultHTTPClient = &http.Client{Timeout: 15 * time.Minute}
+
+// NewClient returns a Client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+// httpClient resolves the transport to use.
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return defaultHTTPClient
+}
+
+// post sends req to path and decodes the 200 body into resp; non-2xx
+// replies become errors carrying the daemon's message.
+func (c *Client) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("daemon client: encoding %s request: %w", path, err)
+	}
+	r, err := c.httpClient().Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("daemon client: %s: %w", path, err)
+	}
+	defer r.Body.Close()
+	return c.decodeReply(path, r, resp)
+}
+
+// get fetches path and decodes the 200 body into resp.
+func (c *Client) get(path string, resp any) error {
+	r, err := c.httpClient().Get(c.BaseURL + path)
+	if err != nil {
+		return fmt.Errorf("daemon client: %s: %w", path, err)
+	}
+	defer r.Body.Close()
+	return c.decodeReply(path, r, resp)
+}
+
+// decodeReply maps a response to resp or to the daemon's error.
+func (c *Client) decodeReply(path string, r *http.Response, resp any) error {
+	data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("daemon client: reading %s reply: %w", path, err)
+	}
+	if r.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("daemon client: %s: %s (HTTP %d)", path, e.Error, r.StatusCode)
+		}
+		return fmt.Errorf("daemon client: %s: HTTP %d: %s", path, r.StatusCode, bytes.TrimSpace(data))
+	}
+	if err := json.Unmarshal(data, resp); err != nil {
+		return fmt.Errorf("daemon client: decoding %s reply: %w", path, err)
+	}
+	return nil
+}
+
+// target builds the request target for a workload and scale, pinned to
+// this build's engine version (and the suite fingerprint when known).
+func (c *Client) target(workload string, scale int, fingerprint string) Target {
+	return Target{
+		Workload: workload, Scale: scale, Policy: c.Policy,
+		EngineVersion: engine.Version, Fingerprint: fingerprint,
+	}
+}
+
+// Run executes one point on the daemon. The signature matches
+// experiments.Context.Remote: fingerprint, when non-empty, is the
+// local suite's content hash (machine.Suite.Fingerprint), which the
+// daemon must match or refuse — pass "" to skip the content check.
+func (c *Client) Run(workload string, scale int, fingerprint string, pt sweep.Point) (*engine.Result, error) {
+	wp, err := ToPoint(pt)
+	if err != nil {
+		return nil, err
+	}
+	var resp RunResponse
+	if err := c.post("/v1/run", RunRequest{Target: c.target(workload, scale, fingerprint), Point: wp}, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Result == nil {
+		return nil, fmt.Errorf("daemon client: /v1/run returned no result")
+	}
+	return resp.Result, nil
+}
+
+// Sweep executes a batch of points on the daemon; Results[i] answers
+// pts[i].
+func (c *Client) Sweep(workload string, scale int, pts []sweep.Point) ([]*engine.Result, error) {
+	wire := make([]Point, len(pts))
+	for i, pt := range pts {
+		wp, err := ToPoint(pt)
+		if err != nil {
+			return nil, fmt.Errorf("daemon client: point %d: %w", i, err)
+		}
+		wire[i] = wp
+	}
+	var resp SweepResponse
+	if err := c.post("/v1/sweep", SweepRequest{Target: c.target(workload, scale, ""), Points: wire}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(pts) {
+		return nil, fmt.Errorf("daemon client: /v1/sweep returned %d results for %d points", len(resp.Results), len(pts))
+	}
+	return resp.Results, nil
+}
+
+// Search runs one equivalent-window search on the daemon.
+func (c *Client) Search(workload string, scale int, req SearchRequest) (SearchResponse, error) {
+	req.Target = c.target(workload, scale, "")
+	var resp SearchResponse
+	err := c.post("/v1/search", req, &resp)
+	return resp, err
+}
+
+// CacheStats fetches the daemon's cache counters.
+func (c *Client) CacheStats() (StatsResponse, error) {
+	var resp StatsResponse
+	err := c.get("/v1/cache/stats", &resp)
+	return resp, err
+}
+
+// GC asks the daemon to trim its store to the policy's bounds.
+func (c *Client) GC(pol sweep.GCPolicy) (sweep.GCResult, error) {
+	req := GCRequest{MaxEntries: pol.MaxEntries, MaxBytes: pol.MaxBytes}
+	if pol.MaxAge > 0 {
+		req.MaxAge = pol.MaxAge.String()
+	}
+	var resp sweep.GCResult
+	err := c.post("/v1/cache/gc", req, &resp)
+	return resp, err
+}
+
+// Health checks the daemon's liveness endpoint and that its engine
+// build matches this client's, so version skew surfaces at attach time
+// rather than per request.
+func (c *Client) Health() error {
+	var resp HealthResponse
+	if err := c.get("/healthz", &resp); err != nil {
+		return err
+	}
+	if resp.Status != "ok" {
+		return fmt.Errorf("daemon client: health status %q", resp.Status)
+	}
+	if resp.EngineVersion != "" && resp.EngineVersion != engine.Version {
+		return fmt.Errorf("daemon client: engine version skew: daemon runs %s, this build is %s (restart sweepd from this build)", resp.EngineVersion, engine.Version)
+	}
+	return nil
+}
+
+// WaitHealthy polls /healthz until the daemon answers or the deadline
+// passes — the startup handshake for scripts and tests that just
+// launched a sweepd.
+func (c *Client) WaitHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var err error
+	for {
+		if err = c.Health(); err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon client: not healthy after %s: %w", timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,445 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"daesim/internal/engine"
+	"daesim/internal/experiments"
+	"daesim/internal/machine"
+	"daesim/internal/metrics"
+	"daesim/internal/sweep"
+	"daesim/internal/workloads"
+)
+
+// TestWireParamsCoverMachineParams is the protocol's field-count guard,
+// mirroring TestCacheKeyCoversAllParams: machine.Params has exactly one
+// field (Mem, deliberately not remotable) more than the wire Params.
+// Adding a machine parameter without extending the protocol — which
+// would silently simulate the default value on the daemon — fails here.
+func TestWireParamsCoverMachineParams(t *testing.T) {
+	mp := reflect.TypeOf(machine.Params{}).NumField()
+	wp := reflect.TypeOf(Params{}).NumField()
+	if mp != wp+1 {
+		t.Fatalf("machine.Params has %d fields, wire Params %d (want machine = wire + 1, the Mem field); extend the wire protocol", mp, wp)
+	}
+}
+
+func TestParamsRoundTrip(t *testing.T) {
+	in := machine.Params{
+		Window: 64, AUWindow: 32, DUWindow: 48, MD: 60, FPLat: 5, CopyLat: 2,
+		AUWidth: 3, DUWidth: 6, Width: 9, DispatchWidth: 4, MemQueue: 128,
+		CollectESW: true, HoldSendSlots: true, Retire: machine.RetireAtComplete,
+	}
+	wp, err := ToParams(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := wp.Machine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip changed params:\nin  %+v\nout %+v", in, out)
+	}
+	if _, err := ToParams(machine.Params{Mem: &stubMem{}}); err == nil {
+		t.Error("custom-Mem params must not be remotable")
+	}
+	if _, err := (Params{Retire: "bogus"}).Machine(); err == nil {
+		t.Error("unknown retire policy must fail")
+	}
+}
+
+type stubMem struct{}
+
+func (*stubMem) RequestFill(addr uint64, sent int64) int64 { return sent }
+func (*stubMem) Consume(addr uint64, cycle int64)          {}
+func (*stubMem) Reset()                                    {}
+
+const testWorkload = "TRFD"
+
+// newTestServer starts a daemon over an optional store and returns a
+// client bound to it.
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer(cfg)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, NewClient(hs.URL)
+}
+
+// localResult simulates one point locally, bypassing the daemon — the
+// oracle for byte-identity checks.
+func localResult(t *testing.T, workload string, pt sweep.Point) *engine.Result {
+	t.Helper()
+	tr, err := workloads.Build(workload, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := machine.NewSuite(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := suite.Run(pt.Kind, pt.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func asJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestRunEndpointMatchesLocalByteForByte(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	pt := sweep.Point{Kind: machine.DM, P: machine.Params{Window: 16, MD: 30}}
+	remote, err := client.Run(testWorkload, 1, "", pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := localResult(t, testWorkload, pt)
+	if got, want := asJSON(t, remote), asJSON(t, local); !bytes.Equal(got, want) {
+		t.Fatalf("remote result differs from local:\nremote %s\nlocal  %s", got, want)
+	}
+}
+
+func TestSweepEndpointWarmRunHitsCache(t *testing.T) {
+	store, err := sweep.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, client := newTestServer(t, Config{Store: store})
+	var pts []sweep.Point
+	for _, w := range []int{8, 16, 24} {
+		pts = append(pts,
+			sweep.Point{Kind: machine.DM, P: machine.Params{Window: w, MD: 30}},
+			sweep.Point{Kind: machine.SWSM, P: machine.Params{Window: w, MD: 30}})
+	}
+	cold, err := client.Sweep(testWorkload, 1, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := client.Sweep(testWorkload, 1, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := asJSON(t, warm), asJSON(t, cold); !bytes.Equal(got, want) {
+		t.Fatal("warm sweep differs from cold sweep")
+	}
+	for i, res := range cold {
+		local := localResult(t, testWorkload, pts[i])
+		if !bytes.Equal(asJSON(t, res), asJSON(t, local)) {
+			t.Fatalf("point %d: daemon result differs from local", i)
+		}
+	}
+	stats := srv.Stats()
+	if stats.Runner.Sims != int64(len(pts)) {
+		t.Errorf("want %d simulations total, got %+v", len(pts), stats.Runner)
+	}
+	if stats.Runner.L1Hits < int64(len(pts)) {
+		t.Errorf("warm sweep should be pure L1 hits: %+v", stats.Runner)
+	}
+	if stats.Store.Writes != int64(len(pts)) {
+		t.Errorf("every simulated point should persist: %+v", stats.Store)
+	}
+	if stats.StoreEntries != len(pts) {
+		t.Errorf("store should hold %d entries, has %d", len(pts), stats.StoreEntries)
+	}
+}
+
+func TestSearchEndpointMatchesLocalSearch(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	p := machine.Params{Window: 16, MD: 30}
+
+	// Local oracle.
+	tr, err := workloads.Build(testWorkload, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := machine.NewSuite(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := sweep.NewRunner(suite)
+	runner.Parallelism = 1
+	wantRatio, wantOK, err := metrics.NewSearch(runner).EquivalentWindowRatio(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := client.Search(testWorkload, 1, SearchRequest{Op: SearchRatio, Params: Params{Window: 16, MD: 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK != wantOK || resp.Ratio != wantRatio {
+		t.Fatalf("ratio search: got %+v, want ratio %v ok %v", resp, wantRatio, wantOK)
+	}
+
+	dm, err := runner.Run(sweep.Point{Kind: machine.DM, P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wresp, err := client.Search(testWorkload, 1, SearchRequest{Op: SearchWindow, Params: Params{Window: 16, MD: 30}, TargetCycles: dm.Cycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wresp.OK || float64(wresp.Window)/16 != resp.Ratio {
+		t.Fatalf("window search %+v inconsistent with ratio %v", wresp, resp.Ratio)
+	}
+
+	xresp, err := client.Search(testWorkload, 1, SearchRequest{Op: SearchCrossover, Params: Params{MD: 0}, Windows: []int{4, 8, 16, 32, 64, 96, 128}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantX, wantXOK, err := metrics.NewSearch(runner).Crossover(machine.Params{MD: 0}, []int{4, 8, 16, 32, 64, 96, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xresp.OK != wantXOK || xresp.Window != wantX {
+		t.Fatalf("crossover: got %+v, want %d ok %v", xresp, wantX, wantXOK)
+	}
+}
+
+func TestGCEndpoint(t *testing.T) {
+	store, err := sweep.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		store.Put(fmt.Sprintf("key-%d", i), &engine.Result{Cycles: int64(i)})
+	}
+	_, client := newTestServer(t, Config{Store: store})
+	res, err := client.GC(sweep.GCPolicy{MaxEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scanned != 6 || res.Evicted != 4 || res.Remaining != 2 {
+		t.Fatalf("GC over the API: %+v", res)
+	}
+
+	// Negative bounds must be refused, not silently treated as
+	// unbounded (every other GC entry point rejects them too).
+	var gcres sweep.GCResult
+	if err := client.post("/v1/cache/gc", map[string]any{"max_entries": -1}, &gcres); err == nil || !strings.Contains(err.Error(), "negative GC bound") {
+		t.Errorf("negative GC bound: %v", err)
+	}
+
+	// Without a store the endpoint must refuse, not no-op.
+	_, storeless := newTestServer(t, Config{})
+	if _, err := storeless.GC(sweep.GCPolicy{MaxEntries: 1}); err == nil || !strings.Contains(err.Error(), "no persistent store") {
+		t.Errorf("GC without store: %v", err)
+	}
+}
+
+// TestSkewRefused pins the version/fingerprint guards: a daemon must
+// refuse (409) requests pinned to a different engine build or workload
+// content rather than answer with results the client's own cache keys
+// could never produce.
+func TestSkewRefused(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	var resp RunResponse
+	err := client.post("/v1/run", RunRequest{
+		Target: Target{Workload: testWorkload, EngineVersion: "engine-v0"},
+		Point:  Point{Kind: "DM", Params: Params{Window: 8}},
+	}, &resp)
+	if err == nil || !strings.Contains(err.Error(), "engine version skew") || !strings.Contains(err.Error(), "409") {
+		t.Errorf("engine version skew should be refused with 409: %v", err)
+	}
+
+	if _, err := client.Run(testWorkload, 1, "deadbeef", sweep.Point{Kind: machine.DM, P: machine.Params{Window: 8}}); err == nil || !strings.Contains(err.Error(), "workload content skew") {
+		t.Errorf("fingerprint skew should be refused: %v", err)
+	}
+
+	// The real fingerprint (what Runner.Remote sends) must pass.
+	tr, err := workloads.Build(testWorkload, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := machine.NewSuite(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Run(testWorkload, 1, suite.Fingerprint(), sweep.Point{Kind: machine.DM, P: machine.Params{Window: 8, MD: 10}}); err != nil {
+		t.Errorf("matching fingerprint refused: %v", err)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	if err := client.Health(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.WaitHealthy(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		call func() error
+		want string
+	}{
+		{"unknown workload", func() error {
+			_, err := client.Run("NOSUCH", 1, "", sweep.Point{Kind: machine.DM, P: machine.Params{Window: 8}})
+			return err
+		}, "NOSUCH"},
+		{"bad kind", func() error {
+			var resp RunResponse
+			return client.post("/v1/run", RunRequest{Target: Target{Workload: testWorkload}, Point: Point{Kind: "VLIW"}}, &resp)
+		}, "unknown machine kind"},
+		{"bad policy", func() error {
+			var resp RunResponse
+			return client.post("/v1/run", RunRequest{Target: Target{Workload: testWorkload, Policy: "random"}, Point: Point{Kind: "DM"}}, &resp)
+		}, "unknown partition policy"},
+		{"bad retire", func() error {
+			var resp RunResponse
+			return client.post("/v1/run", RunRequest{Target: Target{Workload: testWorkload}, Point: Point{Kind: "DM", Params: Params{Retire: "never"}}}, &resp)
+		}, "unknown retire policy"},
+		{"empty sweep", func() error {
+			_, err := client.Sweep(testWorkload, 1, nil)
+			return err
+		}, "no points"},
+		{"bad search op", func() error {
+			_, err := client.Search(testWorkload, 1, SearchRequest{Op: "median"})
+			return err
+		}, "unknown search op"},
+		{"window search without target", func() error {
+			_, err := client.Search(testWorkload, 1, SearchRequest{Op: SearchWindow})
+			return err
+		}, "target_cycles"},
+		{"unknown field", func() error {
+			var resp RunResponse
+			return client.post("/v1/run", map[string]any{"workload": testWorkload, "kind": "DM", "paramz": map[string]any{}}, &resp)
+		}, "unknown field"},
+	}
+	for _, tc := range cases {
+		err := tc.call()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestConcurrencyLimitQueues proves MaxConcurrent=1 serializes without
+// rejecting: concurrent requests all succeed.
+func TestConcurrencyLimitQueues(t *testing.T) {
+	_, client := newTestServer(t, Config{MaxConcurrent: 1})
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = client.Run(testWorkload, 1, "", sweep.Point{Kind: machine.DM, P: machine.Params{Window: 8 + i, MD: 10}})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("request %d under concurrency limit: %v", i, err)
+		}
+	}
+}
+
+// TestRemoteContext is the repro -remote wiring end to end: an
+// experiments.Context with a daemon client attached runs all cacheable
+// points remotely (zero local simulations) and produces results
+// byte-identical to a purely local context.
+func TestRemoteContext(t *testing.T) {
+	store, err := sweep.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, client := newTestServer(t, Config{Store: store})
+
+	run := func(ctx *experiments.Context) []*engine.Result {
+		t.Helper()
+		r, err := ctx.Runner(testWorkload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pts []sweep.Point
+		for _, w := range []int{8, 16} {
+			for _, md := range []int{0, 30} {
+				pts = append(pts, sweep.Point{Kind: machine.DM, P: machine.Params{Window: w, MD: md}})
+			}
+		}
+		results, err := r.RunAll(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+
+	localCtx := experiments.NewContext()
+	localRes := run(localCtx)
+
+	remoteCtx := experiments.NewContext()
+	remoteCtx.Remote = client.Run
+	remoteRes := run(remoteCtx)
+
+	if got, want := asJSON(t, remoteRes), asJSON(t, localRes); !bytes.Equal(got, want) {
+		t.Fatal("remote context results differ from local")
+	}
+	stats := remoteCtx.CacheStats()
+	if stats.Sims != 0 {
+		t.Errorf("remote context simulated %d points locally, want 0", stats.Sims)
+	}
+	if stats.RemoteHits != 4 {
+		t.Errorf("want 4 remote hits, got %+v", stats)
+	}
+	if srv.Stats().Runner.Sims != 4 {
+		t.Errorf("daemon should have simulated the 4 points: %+v", srv.Stats().Runner)
+	}
+
+	// A dead daemon must fail the run loudly, not fall back to local.
+	deadCtx := experiments.NewContext()
+	dead := NewClient("http://127.0.0.1:1")
+	deadCtx.Remote = dead.Run
+	r, err := deadCtx.Runner(testWorkload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(sweep.Point{Kind: machine.DM, P: machine.Params{Window: 8}}); err == nil {
+		t.Error("unreachable daemon must surface as an error")
+	}
+}
+
+// TestStatsEndpointShape pins the JSON key names scripts (CI's smoke
+// job) depend on.
+func TestStatsEndpointShape(t *testing.T) {
+	_, client := newTestServer(t, Config{})
+	if _, err := client.Run(testWorkload, 1, "", sweep.Point{Kind: machine.DM, P: machine.Params{Window: 8, MD: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	hres, err := http.Get(client.BaseURL + "/v1/cache/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hres.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(hres.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"runner"`, `"hit_rate"`, `"store"`, `"store_entries"`, `"uptime_seconds"`, `"requests"`, `"Sims"`, `"RemoteHits"`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("stats JSON missing %s: %s", key, buf.String())
+		}
+	}
+}

@@ -1,0 +1,402 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"daesim/internal/engine"
+	"daesim/internal/experiments"
+	"daesim/internal/metrics"
+	"daesim/internal/partition"
+	"daesim/internal/sweep"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Store is the shared persistent result cache (L2) behind every
+	// runner the daemon builds; nil serves from memory only.
+	Store *sweep.Store
+	// Parallelism caps each runner's worker pool and search fan-out
+	// (0 = GOMAXPROCS).
+	Parallelism int
+	// MaxConcurrent bounds simultaneously-executing simulation requests
+	// (run/sweep/search); excess requests queue until a slot frees or
+	// their timeout expires. 0 = unlimited.
+	MaxConcurrent int
+	// RequestTimeout bounds each simulation request end to end, queue
+	// wait included; expired requests get 503. The underlying
+	// simulations are not cancellable mid-run — they complete and warm
+	// the cache for the retry. 0 = no timeout.
+	RequestTimeout time.Duration
+	// GCPolicy and GCInterval configure the background store GC ticker
+	// (GCLoop); GC also remains available on demand via POST
+	// /v1/cache/gc. A zero interval or unbounded policy disables the
+	// ticker.
+	GCPolicy   sweep.GCPolicy
+	GCInterval time.Duration
+	// Log receives request and GC log lines; nil discards them.
+	Log *log.Logger
+}
+
+// Server is the long-lived sweep daemon: one single-flight memoizing
+// runner per (workload, scale, policy), all sharing Config.Store, behind
+// the HTTP API of Handler. Create with NewServer.
+type Server struct {
+	cfg   Config
+	start time.Time
+	sem   chan struct{} // nil when MaxConcurrent == 0
+
+	mu       sync.Mutex
+	contexts map[suiteKey]*experiments.Context
+
+	requests atomic.Int64
+}
+
+// suiteKey identifies one experiments.Context: runners are cached per
+// workload inside a context, and contexts per (scale, policy) here.
+type suiteKey struct {
+	scale  int
+	policy partition.Policy
+}
+
+// NewServer returns a Server for the config.
+func NewServer(cfg Config) *Server {
+	s := &Server{cfg: cfg, start: time.Now(), contexts: make(map[suiteKey]*experiments.Context)}
+	if cfg.MaxConcurrent > 0 {
+		s.sem = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	return s
+}
+
+// logf writes one log line when a logger is configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf(format, args...)
+	}
+}
+
+// contextFor returns (building on first use) the experiment context for
+// a scale and policy. Contexts hold the per-workload runners; all share
+// the daemon's store, so entries written at one scale never collide
+// with another — the suite fingerprint in the key separates them.
+func (s *Server) contextFor(scale int, pol partition.Policy) *experiments.Context {
+	if scale <= 0 {
+		scale = 1
+	}
+	k := suiteKey{scale: scale, policy: pol}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ctx, ok := s.contexts[k]
+	if !ok {
+		ctx = experiments.NewContext()
+		ctx.Scale = scale
+		ctx.Policy = pol
+		ctx.Parallelism = s.cfg.Parallelism
+		ctx.Cache = s.cfg.Store
+		s.contexts[k] = ctx
+	}
+	return ctx
+}
+
+// skewError is a Target version/fingerprint mismatch; handlers map it
+// to HTTP 409 so clients can tell "wrong build" from "bad request".
+type skewError struct{ msg string }
+
+func (e *skewError) Error() string { return e.msg }
+
+// runnerFor resolves a request target to its memoizing runner,
+// enforcing the Target's skew guards: a request pinned to a different
+// engine version or workload content than this daemon's build is
+// refused rather than answered with results the client could never
+// have produced itself.
+func (s *Server) runnerFor(t Target) (*sweep.Runner, error) {
+	if t.EngineVersion != "" && t.EngineVersion != engine.Version {
+		return nil, &skewError{fmt.Sprintf("daemon: engine version skew: daemon runs %s, client expects %s (rebuild or restart sweepd)", engine.Version, t.EngineVersion)}
+	}
+	pol, err := ParsePolicy(t.Policy)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.contextFor(t.Scale, pol).Runner(t.Workload)
+	if err != nil {
+		return nil, err
+	}
+	if t.Fingerprint != "" && t.Fingerprint != r.Suite.Fingerprint() {
+		return nil, &skewError{fmt.Sprintf("daemon: workload content skew for %s (scale %d, policy %s): daemon and client builds lower different programs (recalibrated workloads?); restart sweepd from the client's build", t.Workload, t.Scale, pol)}
+	}
+	return r, nil
+}
+
+// targetStatus maps a runnerFor error to its HTTP status.
+func targetStatus(err error) int {
+	var skew *skewError
+	if errors.As(err, &skew) {
+		return http.StatusConflict
+	}
+	return http.StatusBadRequest
+}
+
+// Handler returns the daemon's HTTP handler. Simulation endpoints
+// (run/sweep/search) pass through the concurrency limiter and the
+// per-request timeout; health and cache management stay unthrottled so
+// liveness probes and operators are never starved by a sweep burst.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
+	mux.HandleFunc("POST /v1/cache/gc", s.handleCacheGC)
+	mux.Handle("POST /v1/run", s.throttle(s.handleRun))
+	mux.Handle("POST /v1/sweep", s.throttle(s.handleSweep))
+	mux.Handle("POST /v1/search", s.throttle(s.handleSearch))
+	return mux
+}
+
+// throttle wraps a simulation handler with the admission semaphore and
+// the request timeout.
+func (s *Server) throttle(h http.HandlerFunc) http.Handler {
+	limited := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			case <-r.Context().Done():
+				// The timeout handler (or the client) already gave up;
+				// it owns the response.
+				return
+			}
+		}
+		h(w, r)
+	})
+	if s.cfg.RequestTimeout <= 0 {
+		return limited
+	}
+	return http.TimeoutHandler(limited, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+}
+
+// writeJSON writes v as the 200 response body. An encode failure at
+// this point can only be a broken connection; there is no response left
+// to amend.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes a JSON error with the given status.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
+}
+
+// decode parses a JSON request body, rejecting unknown fields so a
+// misspelled parameter fails loudly instead of silently simulating the
+// default configuration.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, HealthResponse{Status: "ok", EngineVersion: engine.Version, UptimeSeconds: time.Since(s.start).Seconds()})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("daemon: bad run request: %w", err))
+		return
+	}
+	runner, err := s.runnerFor(req.Target)
+	if err != nil {
+		writeError(w, targetStatus(err), err)
+		return
+	}
+	pt, err := req.Point.Sweep()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := runner.Run(pt)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, RunResponse{Result: res})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("daemon: bad sweep request: %w", err))
+		return
+	}
+	if len(req.Points) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("daemon: sweep request has no points"))
+		return
+	}
+	runner, err := s.runnerFor(req.Target)
+	if err != nil {
+		writeError(w, targetStatus(err), err)
+		return
+	}
+	pts := make([]sweep.Point, len(req.Points))
+	for i, wp := range req.Points {
+		if pts[i], err = wp.Sweep(); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("daemon: point %d: %w", i, err))
+			return
+		}
+	}
+	start := time.Now()
+	results, err := runner.RunAll(pts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.logf("sweep %s scale=%d: %d points in %s", req.Workload, req.Scale, len(pts), time.Since(start).Round(time.Millisecond))
+	writeJSON(w, SweepResponse{Results: results})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("daemon: bad search request: %w", err))
+		return
+	}
+	runner, err := s.runnerFor(req.Target)
+	if err != nil {
+		writeError(w, targetStatus(err), err)
+		return
+	}
+	p, err := req.Params.Machine()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// A Search parallelizes internally but is not safe for concurrent
+	// use, so each request gets its own; probes still share the runner's
+	// caches with every other request.
+	search := metrics.NewSearch(runner)
+	var resp SearchResponse
+	switch req.Op {
+	case SearchWindow:
+		if req.TargetCycles <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("daemon: window search needs target_cycles > 0"))
+			return
+		}
+		resp.Window, resp.OK, err = search.EquivalentWindow(p, req.TargetCycles)
+	case SearchRatio:
+		resp.Ratio, resp.OK, err = search.EquivalentWindowRatio(p)
+	case SearchCrossover:
+		if len(req.Windows) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("daemon: crossover search needs a windows grid"))
+			return
+		}
+		resp.Window, resp.OK, err = search.Crossover(p, req.Windows)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("daemon: unknown search op %q (want %s, %s, %s)", req.Op, SearchWindow, SearchRatio, SearchCrossover))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// Stats aggregates cache traffic across every runner the daemon has
+// built (it also backs GET /v1/cache/stats).
+func (s *Server) Stats() StatsResponse {
+	var total sweep.CacheStats
+	s.mu.Lock()
+	ctxs := make([]*experiments.Context, 0, len(s.contexts))
+	for _, ctx := range s.contexts {
+		ctxs = append(ctxs, ctx)
+	}
+	s.mu.Unlock()
+	for _, ctx := range ctxs {
+		total.Add(ctx.CacheStats())
+	}
+	resp := StatsResponse{
+		Runner:        total,
+		HitRate:       total.HitRate(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+	}
+	if s.cfg.Store != nil {
+		resp.Store = s.cfg.Store.Stats()
+		resp.StoreEntries = s.cfg.Store.Len()
+	}
+	return resp
+}
+
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+func (s *Server) handleCacheGC(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Store == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("daemon: no persistent store attached (start sweepd with -cache)"))
+		return
+	}
+	var req GCRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("daemon: bad GC request: %w", err))
+		return
+	}
+	if req.MaxEntries < 0 || req.MaxBytes < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("daemon: negative GC bound (max_entries=%d, max_bytes=%d); omit a bound to leave it unlimited", req.MaxEntries, req.MaxBytes))
+		return
+	}
+	pol := sweep.GCPolicy{MaxEntries: req.MaxEntries, MaxBytes: req.MaxBytes}
+	if req.MaxAge != "" {
+		d, err := time.ParseDuration(req.MaxAge)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("daemon: bad max_age %q", req.MaxAge))
+			return
+		}
+		pol.MaxAge = d
+	}
+	res, err := s.cfg.Store.GC(pol)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.logf("cache gc (%s): %s", pol, res)
+	writeJSON(w, res)
+}
+
+// GCLoop trims the store on Config.GCInterval until ctx is cancelled.
+// It returns immediately when the ticker is disabled (no store, no
+// interval, or an unbounded policy).
+func (s *Server) GCLoop(ctx context.Context) {
+	if s.cfg.Store == nil || s.cfg.GCInterval <= 0 || !s.cfg.GCPolicy.Bounded() {
+		return
+	}
+	t := time.NewTicker(s.cfg.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			res, err := s.cfg.Store.GC(s.cfg.GCPolicy)
+			if err != nil {
+				s.logf("background gc failed: %v", err)
+				continue
+			}
+			if res.Evicted > 0 {
+				s.logf("background gc (%s): %s", s.cfg.GCPolicy, res)
+			}
+		}
+	}
+}

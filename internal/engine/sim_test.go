@@ -108,11 +108,11 @@ func TestWidePathMatchesReference(t *testing.T) {
 	}
 	cfgs := []Config{
 		// Unlimited window and width: pure batched dataflow issue.
-		{Timing: tm(60), Cores: cores(0, 1 << 20)},
+		{Timing: tm(60), Cores: cores(0, 1<<20)},
 		// Finite window, width >= window: wide by the window bound.
 		{Timing: tm(30), Cores: cores(8, 8)},
 		// Wide plus in-order retirement.
-		{Timing: tm(60), Cores: cores(16, 1 << 20), RetireInOrder: true},
+		{Timing: tm(60), Cores: cores(16, 1<<20), RetireInOrder: true},
 		// Wide plus a stateful memory model and ESW sampling.
 		{Timing: tm(20), Cores: cores(12, 64), Mem: &delayMem{md: 35}, CollectESW: true},
 		// Wide core next to a narrow core (mixed heap/list paths).

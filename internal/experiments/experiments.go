@@ -39,6 +39,18 @@ type Context struct {
 	// invalidated by engine-version bumps and workload recalibrations
 	// (DESIGN.md §9). Set it before the first experiment runs.
 	Cache *sweep.Store
+	// Remote, when non-nil, executes cacheable points that miss the local
+	// cache layers — it becomes each workload runner's Remote hook, bound
+	// to that workload, the context's scale, and the local suite's
+	// content fingerprint (so a daemon built from different workload or
+	// engine code refuses instead of answering with skewed results).
+	// internal/daemon.Client.Run has this signature, so attaching a
+	// daemon client routes every cacheable simulation through a running
+	// sweepd (repro -remote; DESIGN.md §10). Detached runners built
+	// outside the per-workload cache (the policy study's non-default
+	// partitions) still simulate locally. Set it before the first
+	// experiment runs.
+	Remote func(workload string, scale int, fingerprint string, pt sweep.Point) (*engine.Result, error)
 
 	mu         sync.Mutex
 	runners    map[string]*runnerEntry
@@ -97,6 +109,12 @@ func (c *Context) buildRunner(name string) (*sweep.Runner, error) {
 	r := sweep.NewRunner(suite)
 	r.Parallelism = c.Parallelism
 	r.Store = c.Cache
+	if c.Remote != nil {
+		remote, scale, fp := c.Remote, c.Scale, suite.Fingerprint()
+		r.Remote = func(pt sweep.Point) (*engine.Result, error) {
+			return remote(name, scale, fp, pt)
+		}
+	}
 	return r, nil
 }
 

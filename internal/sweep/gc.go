@@ -1,0 +1,241 @@
+// Store eviction / garbage collection. A Store grows without bound as
+// sweeps explore new configurations; GC trims it back under size and age
+// bounds, evicting least-recently-used entries first. Recency is the
+// blob's mtime: Get touches an entry on every hit, so LRU order tracks
+// access, not install, time. Eviction is a plain unlink of an
+// atomically-installed blob, so it is safe under concurrent readers and
+// writers — a reader that already opened the file still reads complete
+// bytes, a reader that arrives later sees a clean miss and re-simulates,
+// and a concurrent Put simply reinstalls the entry.
+package sweep
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// GCPolicy bounds a Store. The zero value of each field means
+// "unbounded" in that dimension; a policy with no bound set makes GC a
+// no-op scan.
+type GCPolicy struct {
+	// MaxEntries bounds the number of cached results (0 = unlimited).
+	MaxEntries int
+	// MaxBytes bounds the total size of the cached blobs (0 = unlimited).
+	MaxBytes int64
+	// MaxAge evicts entries not accessed for longer than this
+	// (0 = unlimited). Access time is refreshed on every cache hit.
+	MaxAge time.Duration
+}
+
+// Bounded reports whether the policy constrains the store at all.
+func (p GCPolicy) Bounded() bool {
+	return p.MaxEntries > 0 || p.MaxBytes > 0 || p.MaxAge > 0
+}
+
+// String renders the policy in the ParseGCPolicy syntax.
+func (p GCPolicy) String() string {
+	var parts []string
+	if p.MaxEntries > 0 {
+		parts = append(parts, fmt.Sprintf("max-entries=%d", p.MaxEntries))
+	}
+	if p.MaxBytes > 0 {
+		parts = append(parts, fmt.Sprintf("max-bytes=%d", p.MaxBytes))
+	}
+	if p.MaxAge > 0 {
+		parts = append(parts, fmt.Sprintf("max-age=%s", p.MaxAge))
+	}
+	if len(parts) == 0 {
+		return "unbounded"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseGCPolicy parses a comma-separated bound list, e.g.
+// "max-entries=500,max-bytes=64mb,max-age=168h". max-bytes accepts kb,
+// mb and gb suffixes (binary multiples); max-age accepts time.Duration
+// syntax. Omitted bounds are unlimited.
+func ParseGCPolicy(spec string) (GCPolicy, error) {
+	var p GCPolicy
+	if strings.TrimSpace(spec) == "" {
+		return p, fmt.Errorf("sweep: empty GC policy")
+	}
+	for _, field := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return p, fmt.Errorf("sweep: GC policy field %q is not key=value", field)
+		}
+		switch k {
+		case "max-entries":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return p, fmt.Errorf("sweep: bad max-entries %q", v)
+			}
+			p.MaxEntries = n
+		case "max-bytes":
+			n, err := parseBytes(v)
+			if err != nil {
+				return p, err
+			}
+			p.MaxBytes = n
+		case "max-age":
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				return p, fmt.Errorf("sweep: bad max-age %q", v)
+			}
+			p.MaxAge = d
+		default:
+			return p, fmt.Errorf("sweep: unknown GC policy key %q (want max-entries, max-bytes, max-age)", k)
+		}
+	}
+	return p, nil
+}
+
+// parseBytes parses a byte count with an optional kb/mb/gb suffix.
+func parseBytes(v string) (int64, error) {
+	s := strings.ToLower(strings.TrimSpace(v))
+	mult := int64(1)
+	for _, suf := range []struct {
+		tag string
+		m   int64
+	}{{"kb", 1 << 10}, {"mb", 1 << 20}, {"gb", 1 << 30}} {
+		if strings.HasSuffix(s, suf.tag) {
+			s, mult = strings.TrimSuffix(s, suf.tag), suf.m
+			break
+		}
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("sweep: bad byte count %q", v)
+	}
+	return n * mult, nil
+}
+
+// GCResult reports one GC pass.
+type GCResult struct {
+	// Scanned is the number of entries examined.
+	Scanned int
+	// Evicted counts entries removed and EvictedBytes their total size.
+	Evicted      int
+	EvictedBytes int64
+	// Remaining counts entries kept and RemainingBytes their total size,
+	// including entries a failed unlink left behind (see Errors).
+	Remaining      int
+	RemainingBytes int64
+	// Errors counts entries the pass selected for eviction but could not
+	// unlink (permissions, I/O). They remain on disk, counted in
+	// Remaining/RemainingBytes, so a pass that reports Errors > 0 may
+	// leave the store over its bounds.
+	Errors int
+}
+
+// String renders the pass for log lines (the repro -cache-gc summary and
+// the daemon GC log); TestCacheGCSummary pins the format.
+func (r GCResult) String() string {
+	s := fmt.Sprintf("scanned %d entries, evicted %d (%d B), kept %d (%d B)",
+		r.Scanned, r.Evicted, r.EvictedBytes, r.Remaining, r.RemainingBytes)
+	if r.Errors > 0 {
+		s += fmt.Sprintf(", %d eviction errors", r.Errors)
+	}
+	return s
+}
+
+// blobInfo is one on-disk entry during a GC scan.
+type blobInfo struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// GC trims the store to the policy's bounds: entries unaccessed for
+// longer than MaxAge go first, then least-recently-used entries until
+// both MaxEntries and MaxBytes hold. Safe to run concurrently with
+// readers and writers (and with other GC passes): eviction is an atomic
+// unlink, so a racing Get sees either the complete entry or a clean
+// miss, never partial bytes. Entries installed while the pass is
+// scanning may be missed until the next pass.
+func (s *Store) GC(pol GCPolicy) (GCResult, error) {
+	var res GCResult
+	fans, err := os.ReadDir(s.dir)
+	if err != nil {
+		return res, fmt.Errorf("sweep: GC scan: %w", err)
+	}
+	var blobs []blobInfo
+	var total int64
+	for _, fan := range fans {
+		if !fan.IsDir() {
+			continue
+		}
+		entries, err := os.ReadDir(filepath.Join(s.dir, fan.Name()))
+		if err != nil {
+			continue // fan dir vanished under a concurrent Clear/GC
+		}
+		for _, e := range entries {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				continue // entry vanished mid-scan
+			}
+			blobs = append(blobs, blobInfo{
+				path:  filepath.Join(s.dir, fan.Name(), e.Name()),
+				size:  info.Size(),
+				mtime: info.ModTime(),
+			})
+			total += info.Size()
+		}
+	}
+	res.Scanned = len(blobs)
+	// Oldest-access first; path breaks mtime ties so eviction order is
+	// deterministic on filesystems with coarse timestamps.
+	sort.Slice(blobs, func(i, j int) bool {
+		if !blobs[i].mtime.Equal(blobs[j].mtime) {
+			return blobs[i].mtime.Before(blobs[j].mtime)
+		}
+		return blobs[i].path < blobs[j].path
+	})
+	evict := func(b blobInfo) {
+		switch err := os.Remove(b.path); {
+		case err == nil:
+			res.Evicted++
+			res.EvictedBytes += b.size
+			s.gcEvictions.Add(1)
+			total -= b.size
+		case os.IsNotExist(err):
+			// A concurrent GC pass (or Clear) removed it already: gone
+			// from disk, so drop it from the running total, but only the
+			// pass that performed the unlink counts the eviction.
+			total -= b.size
+		default:
+			// Unremovable (permissions, I/O): the entry is still on disk
+			// and still occupies bytes, so it stays in the total — the
+			// bounds loop keeps evicting younger entries rather than
+			// stopping early on bytes it never freed.
+			res.Errors++
+		}
+	}
+	cutoff := time.Now().Add(-pol.MaxAge)
+	i := 0
+	if pol.MaxAge > 0 {
+		for ; i < len(blobs) && blobs[i].mtime.Before(cutoff); i++ {
+			evict(blobs[i])
+		}
+	}
+	for ; i < len(blobs); i++ {
+		keep := len(blobs) - i
+		overEntries := pol.MaxEntries > 0 && keep > pol.MaxEntries
+		overBytes := pol.MaxBytes > 0 && total > pol.MaxBytes
+		if !overEntries && !overBytes {
+			break
+		}
+		evict(blobs[i])
+	}
+	res.Remaining = res.Scanned - res.Evicted
+	res.RemainingBytes = total
+	return res, nil
+}

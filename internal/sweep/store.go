@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+	"time"
 
 	"daesim/internal/engine"
 )
@@ -32,7 +33,7 @@ import (
 type Store struct {
 	dir string
 
-	hits, misses, writes, corrupt, writeErrs atomic.Int64
+	hits, misses, writes, corrupt, writeErrs, gcEvictions atomic.Int64
 }
 
 // StoreStats is a snapshot of a Store's traffic counters.
@@ -43,6 +44,9 @@ type StoreStats struct {
 	// Writes counts entries installed; WriteErrors counts failed
 	// installs (the cache degrades to pass-through, never fails a run).
 	Writes, WriteErrors int64
+	// GCEvictions counts entries removed by Store.GC passes (corrupt
+	// entries deleted on read are counted under Corrupt instead).
+	GCEvictions int64
 }
 
 // entryFile is the on-disk format. Key catches cross-key collisions and
@@ -77,9 +81,12 @@ func (s *Store) path(key string) string {
 }
 
 // Get returns the cached result for key, or ok=false on a miss. Damaged
-// entries are deleted and reported as misses.
+// entries are deleted and reported as misses. A hit refreshes the
+// entry's mtime, which is the access recency GC's LRU eviction orders by
+// (best effort: a touch that loses a race with an eviction is ignored).
 func (s *Store) Get(key string) (*engine.Result, bool) {
-	data, err := os.ReadFile(s.path(key))
+	path := s.path(key)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		s.misses.Add(1)
 		return nil, false
@@ -100,6 +107,8 @@ func (s *Store) Get(key string) (*engine.Result, bool) {
 		return nil, s.evictCorrupt(key)
 	}
 	s.hits.Add(1)
+	now := time.Now()
+	os.Chtimes(path, now, now) // LRU recency for GC; losing to an eviction is fine
 	return &res, true
 }
 
@@ -193,5 +202,6 @@ func (s *Store) Stats() StoreStats {
 		Corrupt:     s.corrupt.Load(),
 		Writes:      s.writes.Load(),
 		WriteErrors: s.writeErrs.Load(),
+		GCEvictions: s.gcEvictions.Load(),
 	}
 }

@@ -45,6 +45,8 @@ type CacheStats struct {
 	L1Hits int64
 	// StoreHits are points loaded from the persistent Store.
 	StoreHits int64
+	// RemoteHits are points served by a remote daemon (Runner.Remote).
+	RemoteHits int64
 	// Sims are simulations actually executed for cacheable points.
 	Sims int64
 	// Uncacheable are runs that bypassed both layers (custom Params.Mem).
@@ -55,18 +57,20 @@ type CacheStats struct {
 func (s *CacheStats) Add(other CacheStats) {
 	s.L1Hits += other.L1Hits
 	s.StoreHits += other.StoreHits
+	s.RemoteHits += other.RemoteHits
 	s.Sims += other.Sims
 	s.Uncacheable += other.Uncacheable
 }
 
 // HitRate returns the fraction of cacheable points served without
-// simulating.
+// simulating locally (from the in-memory map, the persistent store, or
+// a remote daemon).
 func (s CacheStats) HitRate() float64 {
-	total := s.L1Hits + s.StoreHits + s.Sims
+	total := s.L1Hits + s.StoreHits + s.RemoteHits + s.Sims
 	if total == 0 {
 		return 0
 	}
-	return float64(s.L1Hits+s.StoreHits) / float64(total)
+	return float64(s.L1Hits+s.StoreHits+s.RemoteHits) / float64(total)
 }
 
 // Runner executes points against one suite.
@@ -81,12 +85,22 @@ type Runner struct {
 	// Store, when non-nil, is the persistent L2 consulted between the
 	// in-memory map and the simulator. Set it before the first Run.
 	Store *Store
+	// Remote, when non-nil, executes cacheable points that miss the local
+	// layers — typically a daemon client (internal/daemon.Client.Run bound
+	// to a workload), so a sweep runs against a long-lived sweepd's shared
+	// cache instead of simulating locally. Remote results are installed
+	// into the local Store (when attached) like any fill. A Remote error
+	// fails the point: a misconfigured or unreachable daemon should
+	// surface, not silently degrade to local simulation. Uncacheable
+	// points (custom Params.Mem) never route remotely — a MemModel is
+	// arbitrary local code. Set it before the first Run.
+	Remote func(Point) (*engine.Result, error)
 
 	mu     sync.Mutex
 	cache  map[key]*entry
 	prefix string // engine version + suite fingerprint, built lazily
 
-	l1Hits, storeHits, sims, uncacheable atomic.Int64
+	l1Hits, storeHits, remoteHits, sims, uncacheable atomic.Int64
 }
 
 // NewRunner returns a Runner for the suite.
@@ -175,11 +189,21 @@ func (r *Runner) fill(sim *engine.Sim, pt Point) (*engine.Result, error) {
 			}
 		}
 	}
-	res, err := r.Suite.RunWith(sim, pt.Kind, pt.P)
-	if err != nil {
-		return nil, err
+	var res *engine.Result
+	var err error
+	if r.Remote != nil {
+		res, err = r.Remote(pt)
+		if err != nil {
+			return nil, err
+		}
+		r.remoteHits.Add(1)
+	} else {
+		res, err = r.Suite.RunWith(sim, pt.Kind, pt.P)
+		if err != nil {
+			return nil, err
+		}
+		r.sims.Add(1)
 	}
-	r.sims.Add(1)
 	if persistent {
 		r.Store.Put(sk, res)
 	}
@@ -191,6 +215,7 @@ func (r *Runner) Stats() CacheStats {
 	return CacheStats{
 		L1Hits:      r.l1Hits.Load(),
 		StoreHits:   r.storeHits.Load(),
+		RemoteHits:  r.remoteHits.Load(),
 		Sims:        r.sims.Load(),
 		Uncacheable: r.uncacheable.Load(),
 	}
