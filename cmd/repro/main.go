@@ -4,7 +4,7 @@
 // Usage:
 //
 //	repro [-out results] [-scale 1] [-par 0] [-cache dir] [-cache-clear] [-cache-stats file]
-//	      [-cache-gc policy] [-remote url]
+//	      [-cache-gc policy] [-remote url1,url2,...] [-remote-batch=true]
 //	      [-exp all|table1|fig4|fig5|fig6|fig7|fig8|fig9|cutoffs|bigwindow|esw|ablations|expansion|policies|retire|cache|complexity]
 //
 // With -cache, simulation results are read from and written to a
@@ -15,9 +15,14 @@
 // "max-entries=5000,max-bytes=256mb,max-age=168h", LRU by access time;
 // DESIGN.md §10), and -cache-stats writes the run's hit/miss counters as
 // JSON. With -remote, cacheable simulations that miss the local layers
-// are executed by a running sweepd daemon at the given base URL (e.g.
-// http://127.0.0.1:8077) instead of locally. The summary always prints
-// to stderr, keeping stdout byte-comparable across runs.
+// are executed by running sweepd daemons instead of locally: one base
+// URL (e.g. http://127.0.0.1:8077) attaches a single daemon, a
+// comma-separated list shards points across the fleet by consistent
+// hashing with failover (DESIGN.md §11). Remote sweeps and search probe
+// waves are batched into one request per replica round trip;
+// -remote-batch=false reverts to one request per point (the
+// request-count comparison CI's fleet smoke asserts). The summary
+// always prints to stderr, keeping stdout byte-comparable across runs.
 //
 // TestUsageEnumeratesExperiments keeps the usage line above, the -exp
 // flag help and the dispatch table in sync.
@@ -106,7 +111,8 @@ func main() {
 	cacheClear := flag.Bool("cache-clear", false, "empty the persistent cache before running")
 	cacheStats := flag.String("cache-stats", "", "write cache hit/miss statistics as JSON to this file")
 	cacheGC := flag.String("cache-gc", "", "trim the persistent cache after the run, e.g. max-entries=5000,max-bytes=256mb,max-age=168h")
-	remote := flag.String("remote", "", "sweepd base URL: run cacheable simulations on a daemon instead of locally")
+	remote := flag.String("remote", "", "comma-separated sweepd base URLs: run cacheable simulations on a daemon (or a consistent-hash fleet) instead of locally")
+	remoteBatch := flag.Bool("remote-batch", true, "with -remote, batch sweeps and probe waves into one request per replica round trip")
 	flag.Parse()
 
 	ctx := experiments.NewContext()
@@ -139,11 +145,9 @@ func main() {
 		gcPolicy = pol
 	}
 	if *remote != "" {
-		client := daemon.NewClient(*remote)
-		if err := client.Health(); err != nil {
+		if err := attachRemote(ctx, *remote, *remoteBatch); err != nil {
 			fatal(fmt.Errorf("-remote: %w", err))
 		}
-		ctx.Remote = client.Run
 	}
 
 	if err := run(ctx, *exp, *out); err != nil {
@@ -157,6 +161,42 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// attachRemote wires the context's Remote/RemoteBatch hooks to one
+// daemon or, for a comma-separated list, a consistent-hash fleet. The
+// health handshake runs up front so a dead or skewed daemon fails the
+// run before any simulation starts.
+func attachRemote(ctx *experiments.Context, spec string, batch bool) error {
+	urls := strings.Split(spec, ",")
+	for i := range urls {
+		urls[i] = strings.TrimSpace(urls[i])
+	}
+	if len(urls) == 1 {
+		client := daemon.NewClient(urls[0])
+		if err := client.Health(); err != nil {
+			return err
+		}
+		ctx.Remote = client.Run
+		if batch {
+			ctx.RemoteBatch = client.RunBatch
+			ctx.RemoteSearch = client.RatioBatch
+		}
+		return nil
+	}
+	fleet, err := daemon.NewFleetClient(urls)
+	if err != nil {
+		return err
+	}
+	if err := fleet.Health(); err != nil {
+		return err
+	}
+	ctx.Remote = fleet.Run
+	if batch {
+		ctx.RemoteBatch = fleet.RunBatch
+		ctx.RemoteSearch = fleet.RatioBatch
+	}
+	return nil
 }
 
 // runCacheGC trims the store post-run and prints the pinned one-line
@@ -204,8 +244,8 @@ type cacheReport struct {
 func reportCache(ctx *experiments.Context, statsPath string) error {
 	stats := ctx.CacheStats()
 	report := cacheReport{Runner: stats, HitRate: stats.HitRate(), Store: ctx.StoreStats()}
-	fmt.Fprintf(os.Stderr, "repro: cache: %d sims, %d L1 hits, %d store hits, %d remote (hit rate %.1f%%), %d uncacheable; store: %d writes, %d corrupt\n",
-		stats.Sims, stats.L1Hits, stats.StoreHits, stats.RemoteHits, 100*report.HitRate, stats.Uncacheable,
+	fmt.Fprintf(os.Stderr, "repro: cache: %d sims, %d L1 hits, %d store hits, %d remote, %d remote searches (hit rate %.1f%%), %d uncacheable; store: %d writes, %d corrupt\n",
+		stats.Sims, stats.L1Hits, stats.StoreHits, stats.RemoteHits, stats.RemoteSearches, 100*report.HitRate, stats.Uncacheable,
 		report.Store.Writes, report.Store.Corrupt)
 	if statsPath == "" {
 		return nil

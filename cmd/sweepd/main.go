@@ -7,13 +7,23 @@
 //
 //	sweepd [-addr :8077] [-cache dir] [-par 0] [-max-concurrent 0]
 //	       [-timeout 0] [-gc ""] [-gc-interval 10m] [-drain 30s] [-quiet]
+//	       [-replica id] [-fleet url1,url2,...]
 //
 // Endpoints: POST /v1/run (one point), POST /v1/sweep (a batch, sharded
 // across the bounded pool), POST /v1/search (equivalent-window, ratio
-// and crossover searches), GET /v1/cache/stats, POST /v1/cache/gc, and
+// and crossover searches), POST /v1/batch/run and /v1/batch/search
+// (many independent items in one round trip — the request-collapsing
+// path of fleet clients), GET /v1/cache/stats, POST /v1/cache/gc, and
 // GET /healthz. -gc takes a sweep GC policy ("max-entries=N,
 // max-bytes=N,max-age=DUR") enforced every -gc-interval in the
 // background; /v1/cache/gc remains available on demand either way.
+//
+// As one replica of a fleet (DESIGN.md §11), give each daemon a unique
+// -replica id and the full member list in -fleet — the same
+// comma-separated URLs, spelled the same way, that clients pass to
+// repro -remote. Both are advertised in /healthz so fleet clients can
+// refuse a replica whose ring membership disagrees with theirs instead
+// of silently splitting the keyspace.
 //
 // On SIGTERM or SIGINT the daemon stops accepting connections, drains
 // in-flight requests for up to -drain, then exits with a final cache
@@ -31,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,20 +60,30 @@ func main() {
 		gcInterval = flag.Duration("gc-interval", 10*time.Minute, "background GC period (with -gc)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight requests")
 		quiet      = flag.Bool("quiet", false, "suppress per-request logging")
+		replica    = flag.String("replica", "", "this daemon's replica id within a fleet (advertised in /healthz; must be unique)")
+		fleet      = flag.String("fleet", "", "comma-separated URLs of every fleet member, matching the clients' -remote list (advertised in /healthz for membership-skew checks)")
 	)
 	flag.Parse()
-	if err := run(*addr, *cacheDir, *par, *maxConc, *timeout, *gcSpec, *gcInterval, *drain, *quiet); err != nil {
+	if err := run(*addr, *cacheDir, *par, *maxConc, *timeout, *gcSpec, *gcInterval, *drain, *quiet, *replica, *fleet); err != nil {
 		fmt.Fprintf(os.Stderr, "sweepd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, cacheDir string, par, maxConc int, timeout time.Duration, gcSpec string, gcInterval, drain time.Duration, quiet bool) error {
+func run(addr, cacheDir string, par, maxConc int, timeout time.Duration, gcSpec string, gcInterval, drain time.Duration, quiet bool, replica, fleet string) error {
 	cfg := daemon.Config{
 		Parallelism:    par,
 		MaxConcurrent:  maxConc,
 		RequestTimeout: timeout,
 		GCInterval:     gcInterval,
+		ReplicaID:      replica,
+	}
+	if fleet != "" {
+		for _, u := range strings.Split(fleet, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				cfg.Fleet = append(cfg.Fleet, u)
+			}
+		}
 	}
 	if !quiet {
 		cfg.Log = log.New(os.Stderr, "sweepd: ", log.LstdFlags)

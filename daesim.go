@@ -179,6 +179,18 @@ type (
 	// route a local sweep's cacheable simulations through the daemon —
 	// repro -remote is exactly that wiring. See DESIGN.md §10.
 	DaemonClient = daemon.Client
+	// DaemonFleet routes simulations across several sweepd replicas by
+	// consistent hashing of cache keys, with per-replica health checks,
+	// bounded retries and ring-order failover. Attach DaemonFleet.Run
+	// and DaemonFleet.RunBatch to Experiments.Remote/RemoteBatch to
+	// shard a sweep across the fleet with batched round trips —
+	// repro -remote url1,url2,... is exactly that wiring. See
+	// DESIGN.md §11.
+	DaemonFleet = daemon.FleetClient
+	// FleetRing is the consistent-hash ring behind DaemonFleet: a pure
+	// function of the replica address list, deterministic across
+	// processes, remapping ~1/N of the keyspace per membership change.
+	FleetRing = daemon.Ring
 )
 
 // NewRunner returns a memoizing Runner for the suite.
@@ -201,6 +213,15 @@ func ParseGCPolicy(spec string) (GCPolicy, error) { return sweep.ParseGCPolicy(s
 // NewDaemonClient returns a client for the sweepd daemon at baseURL
 // (e.g. "http://127.0.0.1:8077").
 func NewDaemonClient(baseURL string) *DaemonClient { return daemon.NewClient(baseURL) }
+
+// NewDaemonFleet returns a client routing across the sweepd replicas at
+// the given base URLs. Every client of a fleet must list the same
+// addresses (the URL strings are the ring identity).
+func NewDaemonFleet(urls []string) (*DaemonFleet, error) { return daemon.NewFleetClient(urls) }
+
+// NewFleetRing builds the consistent-hash ring over the member names —
+// exposed for capacity planning and tests; DaemonFleet builds its own.
+func NewFleetRing(members []string) *FleetRing { return daemon.NewRing(members) }
 
 // Metrics.
 var (

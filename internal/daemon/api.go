@@ -8,12 +8,17 @@
 //
 // Endpoints (DESIGN.md §10 documents the full schemas):
 //
-//	POST /v1/run         one (workload, machine, params) point → Result
-//	POST /v1/sweep       a batch of points, sharded across the pool
-//	POST /v1/search      equivalent-window / ratio / crossover searches
-//	GET  /v1/cache/stats runner + store cache counters
-//	POST /v1/cache/gc    trim the persistent store to given bounds
-//	GET  /healthz        liveness (never throttled by the request limit)
+//	POST /v1/run          one (workload, machine, params) point → Result
+//	POST /v1/sweep        a batch of points, sharded across the pool
+//	POST /v1/search       equivalent-window / ratio / crossover searches
+//	POST /v1/batch/run    many run requests (own targets) in one round trip
+//	POST /v1/batch/search many searches, fanned across the pool
+//	GET  /v1/cache/stats  runner + store cache counters
+//	POST /v1/cache/gc     trim the persistent store to given bounds
+//	GET  /healthz         liveness (never throttled by the request limit)
+//
+// Fleet mode shards keys across several daemons with the consistent-hash
+// Ring and FleetClient (DESIGN.md §11).
 package daemon
 
 import (
@@ -232,6 +237,44 @@ type SearchResponse struct {
 	OK     bool    `json:"ok"`
 }
 
+// MaxBatchItems caps the item count of /v1/batch/run and
+// /v1/batch/search requests. Larger batches are refused with 400 — a
+// probe wave or sweep shard legitimately reaches a few thousand points,
+// but an unbounded batch is indistinguishable from a decoder bomb (the
+// body size limit alone would still admit millions of tiny items).
+const MaxBatchItems = 4096
+
+// BatchRunRequest is the POST /v1/batch/run body: up to MaxBatchItems
+// independent run requests answered in one round trip. Items carry
+// their own targets, so one request may span workloads and scales —
+// a fleet replica receives whatever slice of a cross-workload sweep
+// (Table1's global point list, a search's probe wave) the ring routed
+// to it, batched by the client into a single round trip.
+type BatchRunRequest struct {
+	Items []RunRequest `json:"items"`
+}
+
+// BatchRunResponse is the POST /v1/batch/run reply; Results[i] answers
+// Items[i]. The batch is all-or-nothing: any invalid item fails the
+// whole request (400/409) before anything simulates, matching the
+// loud-failure contract of the point-wise endpoints.
+type BatchRunResponse struct {
+	Results []*engine.Result `json:"results"`
+}
+
+// BatchSearchRequest is the POST /v1/batch/search body: up to
+// MaxBatchItems searches executed server-side, fanned across the
+// daemon's pool, answered in one round trip.
+type BatchSearchRequest struct {
+	Items []SearchRequest `json:"items"`
+}
+
+// BatchSearchResponse is the POST /v1/batch/search reply; Results[i]
+// answers Items[i].
+type BatchSearchResponse struct {
+	Results []SearchResponse `json:"results"`
+}
+
 // GCRequest is the POST /v1/cache/gc body; zero fields are unbounded,
 // matching sweep.GCPolicy. MaxAge uses time.Duration syntax ("24h").
 type GCRequest struct {
@@ -257,11 +300,18 @@ type StatsResponse struct {
 
 // HealthResponse is the GET /healthz reply. EngineVersion lets clients
 // and probes detect a version-skewed daemon before routing work to it
-// (Client.Health checks it).
+// (Client.Health checks it). ReplicaID and Fleet, set when sweepd runs
+// with -replica/-fleet, advertise the daemon's view of the ring so a
+// fleet client can detect membership skew — a client and a replica
+// disagreeing on the member list would route keys to different owners,
+// silently splitting the cache — before any work routes (checked by
+// FleetClient.Health).
 type HealthResponse struct {
-	Status        string  `json:"status"`
-	EngineVersion string  `json:"engine_version"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Status        string   `json:"status"`
+	EngineVersion string   `json:"engine_version"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	ReplicaID     string   `json:"replica_id,omitempty"`
+	Fleet         []string `json:"fleet,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

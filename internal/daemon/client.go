@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"daesim/internal/engine"
+	"daesim/internal/experiments"
+	"daesim/internal/machine"
 	"daesim/internal/sweep"
 )
 
@@ -77,6 +79,24 @@ func (c *Client) get(path string, resp any) error {
 	return c.decodeReply(path, r, resp)
 }
 
+// StatusError is a non-2xx daemon reply. It keeps the HTTP status
+// machine-readable so a fleet client can tell refusals that would repeat
+// on every replica (4xx bad requests, 409 skew) from per-replica
+// failures worth retrying elsewhere (5xx, and transport errors, which
+// are not StatusErrors at all).
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string { return fmt.Sprintf("%s (HTTP %d)", e.Msg, e.Code) }
+
+// Retryable reports whether the same request could succeed on a
+// different replica: server-side failures may be local to the replica
+// (dying, overloaded), while 4xx/409 refusals are about the request or
+// the build and would repeat everywhere.
+func (e *StatusError) Retryable() bool { return e.Code >= 500 }
+
 // decodeReply maps a response to resp or to the daemon's error.
 func (c *Client) decodeReply(path string, r *http.Response, resp any) error {
 	data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
@@ -86,9 +106,9 @@ func (c *Client) decodeReply(path string, r *http.Response, resp any) error {
 	if r.StatusCode != http.StatusOK {
 		var e ErrorResponse
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("daemon client: %s: %s (HTTP %d)", path, e.Error, r.StatusCode)
+			return fmt.Errorf("daemon client: %s: %w", path, &StatusError{Code: r.StatusCode, Msg: e.Error})
 		}
-		return fmt.Errorf("daemon client: %s: HTTP %d: %s", path, r.StatusCode, bytes.TrimSpace(data))
+		return fmt.Errorf("daemon client: %s: %w", path, &StatusError{Code: r.StatusCode, Msg: string(bytes.TrimSpace(data))})
 	}
 	if err := json.Unmarshal(data, resp); err != nil {
 		return fmt.Errorf("daemon client: decoding %s reply: %w", path, err)
@@ -143,6 +163,107 @@ func (c *Client) Sweep(workload string, scale int, pts []sweep.Point) ([]*engine
 		return nil, fmt.Errorf("daemon client: /v1/sweep returned %d results for %d points", len(resp.Results), len(pts))
 	}
 	return resp.Results, nil
+}
+
+// BatchRun executes run requests — each carrying its own target — in
+// MaxBatchItems-sized round trips (one for any realistically sized
+// batch; the server 400s oversized requests with a non-retryable
+// refusal, so the split must happen here, where sweeps of any size
+// funnel through). Results[i] answers items[i].
+func (c *Client) BatchRun(items []RunRequest) ([]*engine.Result, error) {
+	out := make([]*engine.Result, 0, len(items))
+	for start := 0; start < len(items); start += MaxBatchItems {
+		end := start + MaxBatchItems
+		if end > len(items) {
+			end = len(items)
+		}
+		chunk := items[start:end]
+		var resp BatchRunResponse
+		if err := c.post("/v1/batch/run", BatchRunRequest{Items: chunk}, &resp); err != nil {
+			return nil, err
+		}
+		if len(resp.Results) != len(chunk) {
+			return nil, fmt.Errorf("daemon client: /v1/batch/run returned %d results for %d items", len(resp.Results), len(chunk))
+		}
+		for i, r := range resp.Results {
+			if r == nil {
+				// A null element would otherwise settle into the caller's L1
+				// and store as a poisoned entry and crash the first reader.
+				return nil, fmt.Errorf("daemon client: /v1/batch/run returned a null result for item %d", start+i)
+			}
+		}
+		out = append(out, resp.Results...)
+	}
+	return out, nil
+}
+
+// BatchSearch executes searches server-side in MaxBatchItems-sized
+// round trips; Results[i] answers items[i]. Each item's Target must be
+// set by the caller (use Client.Search for the single pinned-target
+// case).
+func (c *Client) BatchSearch(items []SearchRequest) ([]SearchResponse, error) {
+	out := make([]SearchResponse, 0, len(items))
+	for start := 0; start < len(items); start += MaxBatchItems {
+		end := start + MaxBatchItems
+		if end > len(items) {
+			end = len(items)
+		}
+		chunk := items[start:end]
+		var resp BatchSearchResponse
+		if err := c.post("/v1/batch/search", BatchSearchRequest{Items: chunk}, &resp); err != nil {
+			return nil, err
+		}
+		if len(resp.Results) != len(chunk) {
+			return nil, fmt.Errorf("daemon client: /v1/batch/search returned %d results for %d items", len(resp.Results), len(chunk))
+		}
+		out = append(out, resp.Results...)
+	}
+	return out, nil
+}
+
+// RunBatch executes a batch of points against one suite in a single
+// round trip. The signature matches experiments.Context.RemoteBatch
+// (and, bound to one workload, sweep.Runner.RemoteBatch), so attaching
+// it lets a local sweep or search submit a whole probe wave as one
+// request instead of one per point — the request-count collapse behind
+// repro -remote's batched mode (DESIGN.md §11).
+func (c *Client) RunBatch(workload string, scale int, fingerprint string, pts []sweep.Point) ([]*engine.Result, error) {
+	target := c.target(workload, scale, fingerprint)
+	items := make([]RunRequest, len(pts))
+	for i, pt := range pts {
+		wp, err := ToPoint(pt)
+		if err != nil {
+			return nil, fmt.Errorf("daemon client: point %d: %w", i, err)
+		}
+		items[i] = RunRequest{Target: target, Point: wp}
+	}
+	return c.BatchRun(items)
+}
+
+// RatioBatch executes one curve of equivalent-window ratio searches
+// server-side, in a single round trip. The signature matches
+// experiments.Context.RemoteSearch: attaching it lets Figures 7-9 cost
+// a few requests per figure instead of several per ratio point, with
+// answers identical to the local search by construction (the probe
+// path is a fixed function of its inputs — metrics.Search).
+func (c *Client) RatioBatch(workload string, scale int, fingerprint string, params []machine.Params) ([]experiments.RatioAnswer, error) {
+	items := make([]SearchRequest, len(params))
+	for i, p := range params {
+		wp, err := ToParams(p)
+		if err != nil {
+			return nil, fmt.Errorf("daemon client: ratio point %d: %w", i, err)
+		}
+		items[i] = SearchRequest{Target: c.target(workload, scale, fingerprint), Op: SearchRatio, Params: wp}
+	}
+	resp, err := c.BatchSearch(items)
+	if err != nil {
+		return nil, err
+	}
+	answers := make([]experiments.RatioAnswer, len(resp))
+	for i, r := range resp {
+		answers[i] = experiments.RatioAnswer{Ratio: r.Ratio, OK: r.OK}
+	}
+	return answers, nil
 }
 
 // Search runs one equivalent-window search on the daemon.

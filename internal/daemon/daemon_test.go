@@ -26,6 +26,7 @@ import (
 // Adding a machine parameter without extending the protocol — which
 // would silently simulate the default value on the daemon — fails here.
 func TestWireParamsCoverMachineParams(t *testing.T) {
+	t.Parallel()
 	mp := reflect.TypeOf(machine.Params{}).NumField()
 	wp := reflect.TypeOf(Params{}).NumField()
 	if mp != wp+1 {
@@ -34,6 +35,7 @@ func TestWireParamsCoverMachineParams(t *testing.T) {
 }
 
 func TestParamsRoundTrip(t *testing.T) {
+	t.Parallel()
 	in := machine.Params{
 		Window: 64, AUWindow: 32, DUWindow: 48, MD: 60, FPLat: 5, CopyLat: 2,
 		AUWidth: 3, DUWidth: 6, Width: 9, DispatchWidth: 4, MemQueue: 128,
@@ -105,6 +107,7 @@ func asJSON(t *testing.T, v any) []byte {
 }
 
 func TestRunEndpointMatchesLocalByteForByte(t *testing.T) {
+	t.Parallel()
 	_, client := newTestServer(t, Config{})
 	pt := sweep.Point{Kind: machine.DM, P: machine.Params{Window: 16, MD: 30}}
 	remote, err := client.Run(testWorkload, 1, "", pt)
@@ -118,6 +121,7 @@ func TestRunEndpointMatchesLocalByteForByte(t *testing.T) {
 }
 
 func TestSweepEndpointWarmRunHitsCache(t *testing.T) {
+	t.Parallel()
 	store, err := sweep.OpenStore(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
@@ -162,6 +166,7 @@ func TestSweepEndpointWarmRunHitsCache(t *testing.T) {
 }
 
 func TestSearchEndpointMatchesLocalSearch(t *testing.T) {
+	t.Parallel()
 	_, client := newTestServer(t, Config{})
 	p := machine.Params{Window: 16, MD: 30}
 
@@ -215,6 +220,7 @@ func TestSearchEndpointMatchesLocalSearch(t *testing.T) {
 }
 
 func TestGCEndpoint(t *testing.T) {
+	t.Parallel()
 	store, err := sweep.OpenStore(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
@@ -250,6 +256,7 @@ func TestGCEndpoint(t *testing.T) {
 // content rather than answer with results the client's own cache keys
 // could never produce.
 func TestSkewRefused(t *testing.T) {
+	t.Parallel()
 	_, client := newTestServer(t, Config{})
 	var resp RunResponse
 	err := client.post("/v1/run", RunRequest{
@@ -279,6 +286,7 @@ func TestSkewRefused(t *testing.T) {
 }
 
 func TestHealthz(t *testing.T) {
+	t.Parallel()
 	_, client := newTestServer(t, Config{})
 	if err := client.Health(); err != nil {
 		t.Fatal(err)
@@ -289,6 +297,7 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestBadRequests(t *testing.T) {
+	t.Parallel()
 	_, client := newTestServer(t, Config{})
 	cases := []struct {
 		name string
@@ -336,9 +345,83 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
+// TestBatchRunEndpoint: a batch whose items span workloads and scales
+// answers each item exactly as the point-wise endpoint would, and a bad
+// item anywhere fails the whole batch before anything simulates,
+// naming the item.
+func TestBatchRunEndpoint(t *testing.T) {
+	t.Parallel()
+	_, client := newTestServer(t, Config{})
+	mk := func(workload string, kind string, w int) RunRequest {
+		return RunRequest{
+			Target: Target{Workload: workload, EngineVersion: engine.Version},
+			Point:  Point{Kind: kind, Params: Params{Window: w, MD: 20}},
+		}
+	}
+	items := []RunRequest{
+		mk(testWorkload, "DM", 8),
+		mk("ADM", "SWSM", 16),
+		mk(testWorkload, "SWSM", 8),
+		mk(testWorkload, "DM", 8), // duplicate: single-flight, same answer
+	}
+	results, err := client.BatchRun(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, item := range items {
+		pt, err := item.Point.Sweep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		local := localResult(t, item.Workload, pt)
+		if !bytes.Equal(asJSON(t, results[i]), asJSON(t, local)) {
+			t.Errorf("batch item %d differs from local", i)
+		}
+	}
+
+	bad := append(items[:2:2], RunRequest{Target: Target{Workload: testWorkload}, Point: Point{Kind: "VLIW"}})
+	if _, err := client.BatchRun(bad); err == nil || !strings.Contains(err.Error(), "batch item 2") {
+		t.Errorf("bad item should fail the batch naming the index: %v", err)
+	}
+	skewed := []RunRequest{{Target: Target{Workload: testWorkload, EngineVersion: "engine-v0"}, Point: Point{Kind: "DM", Params: Params{Window: 8}}}}
+	if _, err := client.BatchRun(skewed); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("skewed item should 409 the batch: %v", err)
+	}
+}
+
+// TestBatchSearchEndpoint: a heterogeneous search batch answers each
+// item exactly as /v1/search would.
+func TestBatchSearchEndpoint(t *testing.T) {
+	t.Parallel()
+	_, client := newTestServer(t, Config{})
+	target := Target{Workload: testWorkload, EngineVersion: engine.Version}
+	items := []SearchRequest{
+		{Target: target, Op: SearchRatio, Params: Params{Window: 16, MD: 30}},
+		{Target: target, Op: SearchCrossover, Params: Params{MD: 0}, Windows: []int{4, 8, 16, 32, 64, 96, 128}},
+		{Target: target, Op: SearchRatio, Params: Params{Window: 8, MD: 30}},
+	}
+	batched, err := client.BatchSearch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, item := range items {
+		single, err := client.Search(testWorkload, 1, SearchRequest{Op: item.Op, Params: item.Params, Windows: item.Windows})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batched[i] != single {
+			t.Errorf("batch item %d: %+v != point-wise %+v", i, batched[i], single)
+		}
+	}
+	if _, err := client.BatchSearch([]SearchRequest{{Target: target, Op: "median"}}); err == nil || !strings.Contains(err.Error(), "unknown search op") {
+		t.Errorf("bad op in a batch: %v", err)
+	}
+}
+
 // TestConcurrencyLimitQueues proves MaxConcurrent=1 serializes without
 // rejecting: concurrent requests all succeed.
 func TestConcurrencyLimitQueues(t *testing.T) {
+	t.Parallel()
 	_, client := newTestServer(t, Config{MaxConcurrent: 1})
 	var wg sync.WaitGroup
 	errs := make([]error, 4)
@@ -362,6 +445,7 @@ func TestConcurrencyLimitQueues(t *testing.T) {
 // points remotely (zero local simulations) and produces results
 // byte-identical to a purely local context.
 func TestRemoteContext(t *testing.T) {
+	t.Parallel()
 	store, err := sweep.OpenStore(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
@@ -424,6 +508,7 @@ func TestRemoteContext(t *testing.T) {
 // TestStatsEndpointShape pins the JSON key names scripts (CI's smoke
 // job) depend on.
 func TestStatsEndpointShape(t *testing.T) {
+	t.Parallel()
 	_, client := newTestServer(t, Config{})
 	if _, err := client.Run(testWorkload, 1, "", sweep.Point{Kind: machine.DM, P: machine.Params{Window: 8, MD: 10}}); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,458 @@
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"daesim/internal/engine"
+	"daesim/internal/experiments"
+	"daesim/internal/machine"
+	"daesim/internal/sweep"
+)
+
+// FleetClient routes simulations across a fleet of sweepd replicas.
+// Every point is mapped point-wise through a consistent-hash Ring of
+// the replica addresses, keyed by the same identity as the persistent
+// cache (engine version | suite fingerprint | canonical params), so a
+// given cache key always lands on the same replica — each replica's
+// single-flight L1 and store see all traffic for its share of the
+// keyspace, and N replicas hold N disjoint warm caches instead of N
+// copies of one.
+//
+// Failures are survived, not hidden: a replica that refuses a request
+// for reasons that would repeat anywhere (4xx bad request, 409 skew)
+// fails the call loudly, while transport errors and 5xx — the
+// signatures of a dying or overloaded replica — mark it down for
+// Cooldown and retry the affected points on the next owners in ring
+// order (the members that would own those keys if the ring shrank,
+// see Ring.Owners), bounded by MaxAttempts distinct replicas per
+// point. When every candidate is marked down the marks are ignored
+// rather than failing without trying.
+//
+// Run and RunBatch have the hook shapes of experiments.Context.Remote
+// and RemoteBatch; attaching both is repro -remote host1,host2,...
+// (DESIGN.md §11). A FleetClient is safe for concurrent use.
+type FleetClient struct {
+	clients []*Client
+	ring    *Ring
+
+	// MaxAttempts bounds how many distinct replicas one point is tried
+	// on before its call fails (0 = every replica).
+	MaxAttempts int
+	// Cooldown is how long a failed replica is deprioritized before
+	// being routed to again (default 2s). Marked-down replicas are
+	// skipped while healthy candidates remain, not banned.
+	Cooldown time.Duration
+
+	downUntil []atomic.Int64 // unix nanos; 0 = healthy
+}
+
+// maxFleet bounds the replica count (per-point attempt sets are
+// bitmasks). Fleets anywhere near this size would saturate on suite
+// builds long before routing became the bottleneck.
+const maxFleet = 64
+
+// NewFleetClient returns a client routing over the replica base URLs
+// (e.g. "http://10.0.0.1:8077"). The URL strings are the ring identity:
+// every client of a fleet must list the same addresses — spelled the
+// same way — for their rings to agree (Health cross-checks the daemons'
+// advertised membership when sweepd runs with -fleet).
+func NewFleetClient(urls []string) (*FleetClient, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("daemon fleet: no replica URLs")
+	}
+	if len(urls) > maxFleet {
+		return nil, fmt.Errorf("daemon fleet: %d replicas exceeds the %d-replica limit", len(urls), maxFleet)
+	}
+	members := make([]string, len(urls))
+	clients := make([]*Client, len(urls))
+	for i, u := range urls {
+		for len(u) > 1 && u[len(u)-1] == '/' {
+			u = u[:len(u)-1]
+		}
+		if u == "" {
+			return nil, fmt.Errorf("daemon fleet: replica %d has an empty URL", i)
+		}
+		members[i] = u
+		clients[i] = NewClient(u)
+	}
+	return &FleetClient{
+		clients:   clients,
+		ring:      NewRing(members),
+		Cooldown:  2 * time.Second,
+		downUntil: make([]atomic.Int64, len(urls)),
+	}, nil
+}
+
+// Clients returns the per-replica clients, index-aligned with the ring
+// members (for stats aggregation and tests).
+func (f *FleetClient) Clients() []*Client { return f.clients }
+
+// Ring returns the routing ring.
+func (f *FleetClient) Ring() *Ring { return f.ring }
+
+func (f *FleetClient) maxAttempts() int {
+	if f.MaxAttempts > 0 && f.MaxAttempts < len(f.clients) {
+		return f.MaxAttempts
+	}
+	return len(f.clients)
+}
+
+func (f *FleetClient) isDown(i int) bool {
+	return time.Now().UnixNano() < f.downUntil[i].Load()
+}
+
+func (f *FleetClient) markDown(i int) {
+	cd := f.Cooldown
+	if cd <= 0 {
+		cd = 2 * time.Second
+	}
+	f.downUntil[i].Store(time.Now().Add(cd).UnixNano())
+}
+
+func (f *FleetClient) markUp(i int) {
+	f.downUntil[i].Store(0)
+}
+
+// retryable reports whether an error could be specific to one replica:
+// transport failures and 5xx are, request/build refusals (4xx, 409
+// skew) would repeat on every replica and must surface immediately.
+func retryable(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Retryable()
+	}
+	return true
+}
+
+// routeKey is the ring key for a point: the cache identity of §9
+// (engine version | suite fingerprint | canonical params) widened with
+// the workload name and scale, which the fingerprint encodes but
+// point-only callers may pass as "". ok is false for points carrying a
+// custom memory model — not remotable at all.
+func routeKey(workload string, scale int, fingerprint string, pt sweep.Point) (string, bool) {
+	pk, ok := pt.P.CacheKey(pt.Kind)
+	if !ok {
+		return "", false
+	}
+	return engine.Version + "|" + fingerprint + "|" + workload + "|" + strconv.Itoa(scale) + "|" + pk, true
+}
+
+// pickCandidate returns the next replica to try for key: the first
+// owner in ring order that is neither tried nor marked down, else the
+// first untried owner regardless of down marks (stale marks must not
+// fail a call unattempted), else -1 when the attempt budget is spent.
+func (f *FleetClient) pickCandidate(key string, tried uint64) int {
+	owners := f.ring.Owners(key, f.maxAttempts())
+	for _, o := range owners {
+		if tried&(1<<uint(o)) == 0 && !f.isDown(o) {
+			return o
+		}
+	}
+	for _, o := range owners {
+		if tried&(1<<uint(o)) == 0 {
+			return o
+		}
+	}
+	return -1
+}
+
+// scatter drives the route-execute-retry loop for n items: each round
+// groups unsettled items by their next candidate replica, executes the
+// groups concurrently (exec owns delivering group idx's results), and
+// either settles a group, fails fast on a non-retryable error, or marks
+// the replica down and reroutes the group's items. Every round consumes
+// one attempt per unsettled item, so the loop terminates within
+// maxAttempts rounds.
+func (f *FleetClient) scatter(n int, keyOf func(int) string, exec func(replica int, idx []int) error) error {
+	tried := make([]uint64, n)
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var lastErr error
+	for len(remaining) > 0 {
+		groups := make(map[int][]int)
+		for _, i := range remaining {
+			c := f.pickCandidate(keyOf(i), tried[i])
+			if c < 0 {
+				if lastErr == nil {
+					return fmt.Errorf("daemon fleet: no replica available")
+				}
+				return fmt.Errorf("daemon fleet: %d points failed on every candidate replica, last error: %w", len(remaining), lastErr)
+			}
+			groups[c] = append(groups[c], i)
+		}
+		type outcome struct {
+			replica int
+			idx     []int
+			err     error
+		}
+		outcomes := make(chan outcome, len(groups))
+		for replica, idx := range groups {
+			go func(replica int, idx []int) {
+				outcomes <- outcome{replica, idx, exec(replica, idx)}
+			}(replica, idx)
+		}
+		var next []int
+		var fatal error
+		for range groups {
+			o := <-outcomes
+			switch {
+			case o.err == nil:
+				f.markUp(o.replica)
+			case !retryable(o.err):
+				if fatal == nil {
+					fatal = o.err
+				}
+			default:
+				f.markDown(o.replica)
+				lastErr = o.err
+				for _, i := range o.idx {
+					tried[i] |= 1 << uint(o.replica)
+				}
+				next = append(next, o.idx...)
+			}
+		}
+		if fatal != nil {
+			return fatal
+		}
+		sort.Ints(next)
+		remaining = next
+	}
+	return nil
+}
+
+// Run executes one point on the replica owning its cache key, failing
+// over along the ring on replica-local errors. The signature matches
+// experiments.Context.Remote.
+func (f *FleetClient) Run(workload string, scale int, fingerprint string, pt sweep.Point) (*engine.Result, error) {
+	key, ok := routeKey(workload, scale, fingerprint, pt)
+	if !ok {
+		return nil, fmt.Errorf("daemon fleet: points with a custom memory model cannot be simulated remotely")
+	}
+	var res *engine.Result
+	err := f.scatter(1, func(int) string { return key }, func(replica int, idx []int) error {
+		r, err := f.clients[replica].Run(workload, scale, fingerprint, pt)
+		if err == nil {
+			res = r
+		}
+		return err
+	})
+	return res, err
+}
+
+// RunBatch executes a batch of points against one suite: points group
+// by owning replica and each group travels as one /v1/batch/run round
+// trip, concurrently across replicas. Results[i] answers pts[i]. The
+// signature matches experiments.Context.RemoteBatch — this is how a
+// probe wave or figure sweep reaches the whole fleet in ≤N requests.
+func (f *FleetClient) RunBatch(workload string, scale int, fingerprint string, pts []sweep.Point) ([]*engine.Result, error) {
+	keys := make([]string, len(pts))
+	for i, pt := range pts {
+		k, ok := routeKey(workload, scale, fingerprint, pt)
+		if !ok {
+			return nil, fmt.Errorf("daemon fleet: point %d carries a custom memory model and cannot run remotely", i)
+		}
+		keys[i] = k
+	}
+	out := make([]*engine.Result, len(pts))
+	err := f.scatter(len(pts), func(i int) string { return keys[i] }, func(replica int, idx []int) error {
+		sub := make([]sweep.Point, len(idx))
+		for j, i := range idx {
+			sub[j] = pts[i]
+		}
+		res, err := f.clients[replica].RunBatch(workload, scale, fingerprint, sub)
+		if err != nil {
+			return err
+		}
+		for j, i := range idx {
+			out[i] = res[j] // idx sets are disjoint across groups
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// searchKey is the ring key for a server-side search: the canonical
+// encoding of the search itself under the client's engine version, so
+// identical searches from any client of the fleet land on one replica
+// and share its memoized probes.
+func searchKey(workload string, scale int, req SearchRequest) string {
+	req.Target = Target{}
+	b, _ := json.Marshal(req)
+	return engine.Version + "|" + workload + "|" + strconv.Itoa(scale) + "|search|" + string(b)
+}
+
+// Search runs one server-side search on the replica owning it, with
+// the same failover as Run.
+func (f *FleetClient) Search(workload string, scale int, req SearchRequest) (SearchResponse, error) {
+	key := searchKey(workload, scale, req)
+	var res SearchResponse
+	err := f.scatter(1, func(int) string { return key }, func(replica int, idx []int) error {
+		r, err := f.clients[replica].Search(workload, scale, req)
+		if err == nil {
+			res = r
+		}
+		return err
+	})
+	return res, err
+}
+
+// BatchSearch executes server-side searches across the fleet: items
+// group by owning replica, one /v1/batch/search round trip per group.
+// Results[i] answers items[i]; each item's Target is pinned to this
+// build's engine version (and the suite fingerprint when known) like
+// the point-wise paths.
+func (f *FleetClient) BatchSearch(workload string, scale int, fingerprint string, reqs []SearchRequest) ([]SearchResponse, error) {
+	// Work on a copy: stamping targets must not scribble on the
+	// caller's slice.
+	items := append([]SearchRequest(nil), reqs...)
+	keys := make([]string, len(items))
+	for i := range items {
+		items[i].Target = Target{
+			Workload: workload, Scale: scale,
+			EngineVersion: engine.Version, Fingerprint: fingerprint,
+		}
+		keys[i] = searchKey(workload, scale, items[i])
+	}
+	out := make([]SearchResponse, len(items))
+	err := f.scatter(len(items), func(i int) string { return keys[i] }, func(replica int, idx []int) error {
+		sub := make([]SearchRequest, len(idx))
+		for j, i := range idx {
+			sub[j] = items[i]
+		}
+		res, err := f.clients[replica].BatchSearch(sub)
+		if err != nil {
+			return err
+		}
+		for j, i := range idx {
+			out[i] = res[j]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RatioBatch executes one curve of equivalent-window ratio searches
+// across the fleet, grouped by owning replica — the fleet counterpart
+// of Client.RatioBatch, with the same experiments.Context.RemoteSearch
+// signature and the scatter loop's failover.
+func (f *FleetClient) RatioBatch(workload string, scale int, fingerprint string, params []machine.Params) ([]experiments.RatioAnswer, error) {
+	items := make([]SearchRequest, len(params))
+	for i, p := range params {
+		wp, err := ToParams(p)
+		if err != nil {
+			return nil, fmt.Errorf("daemon fleet: ratio point %d: %w", i, err)
+		}
+		items[i] = SearchRequest{Op: SearchRatio, Params: wp}
+	}
+	resp, err := f.BatchSearch(workload, scale, fingerprint, items)
+	if err != nil {
+		return nil, err
+	}
+	answers := make([]experiments.RatioAnswer, len(resp))
+	for i, r := range resp {
+		answers[i] = experiments.RatioAnswer{Ratio: r.Ratio, OK: r.OK}
+	}
+	return answers, nil
+}
+
+// Health checks every replica: alive, engine version matching this
+// build, unique replica IDs, and — when a daemon advertises its -fleet
+// membership — a member list agreeing with this client's ring, since
+// clients and replicas disagreeing on membership would route the same
+// key to different owners and silently split the fleet's cache.
+func (f *FleetClient) Health() error {
+	ids := make(map[string]int)
+	for i, c := range f.clients {
+		var resp HealthResponse
+		if err := c.get("/healthz", &resp); err != nil {
+			return fmt.Errorf("daemon fleet: replica %d (%s): %w", i, c.BaseURL, err)
+		}
+		if resp.Status != "ok" {
+			return fmt.Errorf("daemon fleet: replica %d (%s): health status %q", i, c.BaseURL, resp.Status)
+		}
+		if resp.EngineVersion != "" && resp.EngineVersion != engine.Version {
+			return fmt.Errorf("daemon fleet: replica %d (%s): engine version skew: daemon runs %s, this build is %s (restart it from this build)", i, c.BaseURL, resp.EngineVersion, engine.Version)
+		}
+		if len(resp.Fleet) > 0 && !sameMembers(resp.Fleet, f.ring.Members()) {
+			return fmt.Errorf("daemon fleet: membership skew: replica %s advertises fleet %v, this client routes over %v (every replica's -fleet must list the same addresses as the client's replica list)", c.BaseURL, resp.Fleet, f.ring.Members())
+		}
+		if resp.ReplicaID != "" {
+			if prev, dup := ids[resp.ReplicaID]; dup {
+				return fmt.Errorf("daemon fleet: replicas %d and %d both advertise replica id %q (-replica must be unique per daemon)", prev, i, resp.ReplicaID)
+			}
+			ids[resp.ReplicaID] = i
+		}
+	}
+	return nil
+}
+
+// sameMembers compares member lists ignoring order and trailing
+// slashes.
+func sameMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	norm := func(in []string) []string {
+		out := make([]string, len(in))
+		for i, s := range in {
+			for len(s) > 1 && s[len(s)-1] == '/' {
+				s = s[:len(s)-1]
+			}
+			out[i] = s
+		}
+		sort.Strings(out)
+		return out
+	}
+	na, nb := norm(a), norm(b)
+	for i := range na {
+		if na[i] != nb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitHealthy polls until every replica passes Health or the deadline
+// passes — the startup handshake for scripts that just launched a
+// fleet.
+func (f *FleetClient) WaitHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var err error
+	for {
+		if err = f.Health(); err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon fleet: not healthy after %s: %w", timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// CacheStats fetches every replica's cache counters, index-aligned
+// with the ring members.
+func (f *FleetClient) CacheStats() ([]StatsResponse, error) {
+	out := make([]StatsResponse, len(f.clients))
+	for i, c := range f.clients {
+		s, err := c.CacheStats()
+		if err != nil {
+			return nil, fmt.Errorf("daemon fleet: replica %d (%s): %w", i, c.BaseURL, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package daemon
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// ringCorpus builds n distinct keys shaped like the fleet's routing
+// keys (engine version | fingerprint | workload | params).
+func ringCorpus(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("engine-v3|fp%04d|TRFD|1|DM|w=%d,md=%d", i%7, i, i%61)
+	}
+	return keys
+}
+
+var ringMembers = []string{
+	"http://127.0.0.1:8077",
+	"http://127.0.0.1:8078",
+	"http://127.0.0.1:8079",
+}
+
+// TestRingDeterministic pins that the mapping is a pure function of the
+// member list: two independently built rings (two processes, in effect
+// — the hash has no per-process seed) agree on every key, and member
+// order does not change ownership (clients listing the same replicas in
+// different orders still route identically).
+func TestRingDeterministic(t *testing.T) {
+	t.Parallel()
+	keys := ringCorpus(10000)
+	a, b := NewRing(ringMembers), NewRing(ringMembers)
+	reordered := NewRing([]string{ringMembers[2], ringMembers[0], ringMembers[1]})
+	for _, k := range keys {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("two rings over the same members disagree on %q", k)
+		}
+		if a.Members()[a.Owner(k)] != reordered.Members()[reordered.Owner(k)] {
+			t.Fatalf("member order changed ownership of %q", k)
+		}
+	}
+}
+
+// TestRingRemap pins the consistent-hashing contract on a 10k-key
+// corpus: removing a member remaps only the keys it owned (survivors
+// keep every key of theirs), and adding a member steals at most ~1/(N+1)
+// of the keyspace, all of it for itself.
+func TestRingRemap(t *testing.T) {
+	t.Parallel()
+	keys := ringCorpus(10000)
+	full := NewRing(ringMembers)
+
+	// Removal: survivors' keys must not move.
+	for drop := range ringMembers {
+		var rest []string
+		for i, m := range ringMembers {
+			if i != drop {
+				rest = append(rest, m)
+			}
+		}
+		shrunk := NewRing(rest)
+		for _, k := range keys {
+			if o := full.Owner(k); o != drop {
+				if got, want := shrunk.Members()[shrunk.Owner(k)], full.Members()[o]; got != want {
+					t.Fatalf("dropping member %d moved %q from %s to %s", drop, k, want, got)
+				}
+			}
+		}
+	}
+
+	// Addition: only the new member gains keys, and not too many.
+	grown := NewRing(append(append([]string(nil), ringMembers...), "http://127.0.0.1:8080"))
+	remapped := 0
+	for _, k := range keys {
+		if was, is := full.Owner(k), grown.Owner(k); was != is {
+			remapped++
+			if grown.Members()[is] != "http://127.0.0.1:8080" {
+				t.Fatalf("adding a member moved %q between survivors (%s -> %s)",
+					k, full.Members()[was], grown.Members()[is])
+			}
+		}
+	}
+	// Expectation is 1/(N+1) = 25%; allow vnode-placement variance.
+	if frac := float64(remapped) / float64(len(keys)); frac > 0.375 {
+		t.Errorf("adding a 4th member remapped %.1f%% of keys (want ~25%%, at most 37.5%%)", 100*frac)
+	} else {
+		t.Logf("adding a 4th member remapped %.1f%% of 10k keys", 100*frac)
+	}
+}
+
+// TestRingBalance pins the distribution quality the fleet test depends
+// on: across 10k keys and 3 members, no member owns more than 60% and
+// none is starved.
+func TestRingBalance(t *testing.T) {
+	t.Parallel()
+	keys := ringCorpus(10000)
+	r := NewRing(ringMembers)
+	counts := make([]int, len(ringMembers))
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for i, c := range counts {
+		share := float64(c) / float64(len(keys))
+		t.Logf("member %d owns %.1f%%", i, 100*share)
+		if share > 0.60 {
+			t.Errorf("member %d owns %.1f%% of keys (want <= 60%%)", i, 100*share)
+		}
+		if share < 0.10 {
+			t.Errorf("member %d owns %.1f%% of keys (starved, want >= 10%%)", i, 100*share)
+		}
+	}
+}
+
+// TestRingBalanceAcrossMemberNames pins the hash-quality property the
+// finalizer in ringHash exists for: balance must hold for arbitrary
+// member addresses, not just the ones this test suite happens to use.
+// Raw FNV of the vnode strings (one member prefix, sequential "|N"
+// suffixes) clustered badly enough that some member sets put ~86% of
+// the keyspace on one replica; with full avalanche the worst observed
+// share over 300 member sets is ~41%.
+func TestRingBalanceAcrossMemberNames(t *testing.T) {
+	t.Parallel()
+	keys := ringCorpus(3000)
+	rng := rand.New(rand.NewSource(7))
+	worst := 0.0
+	for trial := 0; trial < 300; trial++ {
+		members := []string{
+			fmt.Sprintf("http://10.%d.%d.%d:%d", rng.Intn(256), rng.Intn(256), rng.Intn(256), 1024+rng.Intn(60000)),
+			fmt.Sprintf("http://127.0.0.1:%d", 1024+rng.Intn(60000)),
+			fmt.Sprintf("http://replica-%d.sweepd.local:8077", rng.Intn(1000000)),
+		}
+		r := NewRing(members)
+		counts := make([]int, len(members))
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		for _, c := range counts {
+			if s := float64(c) / float64(len(keys)); s > worst {
+				worst = s
+			}
+		}
+	}
+	t.Logf("worst max-share over 300 random member sets: %.3f", worst)
+	if worst > 0.55 {
+		t.Errorf("worst member share %.1f%% over random member names (want <= 55%%); ringHash has lost its avalanche", 100*worst)
+	}
+}
+
+// TestRingOwners pins the failover sequence: Owners returns distinct
+// members led by the primary, and the second owner of a key is exactly
+// where a ring without the primary routes it — so retrying a down
+// replica's keys on the next owner matches the shrunk ring's layout.
+func TestRingOwners(t *testing.T) {
+	t.Parallel()
+	r := NewRing(ringMembers)
+	for _, k := range ringCorpus(500) {
+		owners := r.Owners(k, len(ringMembers))
+		if len(owners) != len(ringMembers) {
+			t.Fatalf("Owners(%q) = %v, want %d distinct members", k, owners, len(ringMembers))
+		}
+		seen := map[int]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("Owners(%q) = %v repeats a member", k, owners)
+			}
+			seen[o] = true
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("Owners(%q)[0] = %d, Owner = %d", k, owners[0], r.Owner(k))
+		}
+		var rest []string
+		for i, m := range ringMembers {
+			if i != owners[0] {
+				rest = append(rest, m)
+			}
+		}
+		shrunk := NewRing(rest)
+		if got, want := shrunk.Members()[shrunk.Owner(k)], ringMembers[owners[1]]; got != want {
+			t.Fatalf("failover owner of %q is %s, but the shrunk ring routes it to %s", k, want, got)
+		}
+	}
+	if NewRing(nil).Owner("x") != -1 {
+		t.Error("empty ring should own nothing")
+	}
+}

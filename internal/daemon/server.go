@@ -8,12 +8,14 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"daesim/internal/engine"
 	"daesim/internal/experiments"
+	"daesim/internal/machine"
 	"daesim/internal/metrics"
 	"daesim/internal/partition"
 	"daesim/internal/sweep"
@@ -44,6 +46,12 @@ type Config struct {
 	GCInterval time.Duration
 	// Log receives request and GC log lines; nil discards them.
 	Log *log.Logger
+	// ReplicaID and Fleet, when set, advertise this daemon's identity and
+	// its view of the fleet membership in /healthz, so fleet clients can
+	// refuse a replica whose ring disagrees with theirs (sweepd -replica
+	// and -fleet; see HealthResponse).
+	ReplicaID string
+	Fleet     []string
 }
 
 // Server is the long-lived sweep daemon: one single-flight memoizing
@@ -156,6 +164,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/run", s.throttle(s.handleRun))
 	mux.Handle("POST /v1/sweep", s.throttle(s.handleSweep))
 	mux.Handle("POST /v1/search", s.throttle(s.handleSearch))
+	mux.Handle("POST /v1/batch/run", s.throttle(s.handleBatchRun))
+	mux.Handle("POST /v1/batch/search", s.throttle(s.handleBatchSearch))
 	return mux
 }
 
@@ -199,15 +209,28 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 // decode parses a JSON request body, rejecting unknown fields so a
 // misspelled parameter fails loudly instead of silently simulating the
-// default configuration.
+// default configuration, and rejecting trailing bytes after the
+// document — a concatenated or truncated-then-resumed body is a
+// malformed request, not a prefix to silently honor (the fuzz oracle
+// pins invalid JSON to 400).
 func decode(r *http.Request, v any) error {
 	dec := json.NewDecoder(io.LimitReader(r.Body, 16<<20))
 	dec.DisallowUnknownFields()
-	return dec.Decode(v)
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("unexpected data after the JSON body")
+	}
+	return nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, HealthResponse{Status: "ok", EngineVersion: engine.Version, UptimeSeconds: time.Since(s.start).Seconds()})
+	writeJSON(w, HealthResponse{
+		Status: "ok", EngineVersion: engine.Version,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		ReplicaID:     s.cfg.ReplicaID, Fleet: s.cfg.Fleet,
+	})
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -266,51 +289,209 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, SweepResponse{Results: results})
 }
 
+// prepSearch validates one search request: it resolves the runner and
+// decodes the params, refusing malformed ops before anything simulates.
+// A non-nil error carries the HTTP status to refuse with.
+func (s *Server) prepSearch(req SearchRequest) (*sweep.Runner, machine.Params, int, error) {
+	runner, err := s.runnerFor(req.Target)
+	if err != nil {
+		return nil, machine.Params{}, targetStatus(err), err
+	}
+	p, err := req.Params.Machine()
+	if err != nil {
+		return nil, machine.Params{}, http.StatusBadRequest, err
+	}
+	switch req.Op {
+	case SearchWindow:
+		if req.TargetCycles <= 0 {
+			return nil, machine.Params{}, http.StatusBadRequest, fmt.Errorf("daemon: window search needs target_cycles > 0")
+		}
+	case SearchRatio, SearchCrossover:
+		if req.Op == SearchCrossover && len(req.Windows) == 0 {
+			return nil, machine.Params{}, http.StatusBadRequest, fmt.Errorf("daemon: crossover search needs a windows grid")
+		}
+	default:
+		return nil, machine.Params{}, http.StatusBadRequest, fmt.Errorf("daemon: unknown search op %q (want %s, %s, %s)", req.Op, SearchWindow, SearchRatio, SearchCrossover)
+	}
+	return runner, p, 0, nil
+}
+
+// execSearch runs one validated search. Each call owns its Search (a
+// Search parallelizes internally but is not safe for concurrent use);
+// probes still share the runner's caches with every other request.
+// searchPar, when positive, caps the Search's internal probe fan-out —
+// batch execution splits the pool budget across concurrent searches so
+// a batch never multiplies into Parallelism² workers. The cap cannot
+// change the answer: the probe sequence is parallelism-independent
+// (metrics.Search).
+func execSearch(runner *sweep.Runner, p machine.Params, req SearchRequest, searchPar int) (SearchResponse, error) {
+	search := metrics.NewSearch(runner)
+	search.Parallelism = searchPar
+	var resp SearchResponse
+	var err error
+	switch req.Op {
+	case SearchWindow:
+		resp.Window, resp.OK, err = search.EquivalentWindow(p, req.TargetCycles)
+	case SearchRatio:
+		resp.Ratio, resp.OK, err = search.EquivalentWindowRatio(p)
+	case SearchCrossover:
+		resp.Window, resp.OK, err = search.Crossover(p, req.Windows)
+	}
+	return resp, err
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req SearchRequest
 	if err := decode(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("daemon: bad search request: %w", err))
 		return
 	}
-	runner, err := s.runnerFor(req.Target)
+	runner, p, status, err := s.prepSearch(req)
 	if err != nil {
-		writeError(w, targetStatus(err), err)
+		writeError(w, status, err)
 		return
 	}
-	p, err := req.Params.Machine()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	// A Search parallelizes internally but is not safe for concurrent
-	// use, so each request gets its own; probes still share the runner's
-	// caches with every other request.
-	search := metrics.NewSearch(runner)
-	var resp SearchResponse
-	switch req.Op {
-	case SearchWindow:
-		if req.TargetCycles <= 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("daemon: window search needs target_cycles > 0"))
-			return
-		}
-		resp.Window, resp.OK, err = search.EquivalentWindow(p, req.TargetCycles)
-	case SearchRatio:
-		resp.Ratio, resp.OK, err = search.EquivalentWindowRatio(p)
-	case SearchCrossover:
-		if len(req.Windows) == 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("daemon: crossover search needs a windows grid"))
-			return
-		}
-		resp.Window, resp.OK, err = search.Crossover(p, req.Windows)
-	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("daemon: unknown search op %q (want %s, %s, %s)", req.Op, SearchWindow, SearchRatio, SearchCrossover))
-		return
-	}
+	resp, err := execSearch(runner, p, req, 0)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, resp)
+}
+
+// checkBatchSize refuses empty and oversized batches with 400.
+func checkBatchSize(w http.ResponseWriter, path string, n int) bool {
+	switch {
+	case n == 0:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("daemon: %s batch has no items", path))
+		return false
+	case n > MaxBatchItems:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("daemon: %s batch of %d items exceeds the %d-item limit; split it", path, n, MaxBatchItems))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleBatchRun(w http.ResponseWriter, r *http.Request) {
+	var req BatchRunRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("daemon: bad batch run request: %w", err))
+		return
+	}
+	if !checkBatchSize(w, "run", len(req.Items)) {
+		return
+	}
+	// Validate every item before simulating any: the batch is
+	// all-or-nothing, so a malformed tail must not waste the head's work.
+	runners := make([]*sweep.Runner, len(req.Items))
+	pts := make([]sweep.Point, len(req.Items))
+	for i, item := range req.Items {
+		runner, err := s.runnerFor(item.Target)
+		if err != nil {
+			writeError(w, targetStatus(err), fmt.Errorf("daemon: batch item %d: %w", i, err))
+			return
+		}
+		runners[i] = runner
+		if pts[i], err = item.Point.Sweep(); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("daemon: batch item %d: %w", i, err))
+			return
+		}
+	}
+	// Execute per runner through RunAll, so each group reuses the
+	// runner's worker pool and per-worker scratches like a local sweep.
+	start := time.Now()
+	results := make([]*engine.Result, len(req.Items))
+	var order []*sweep.Runner
+	groups := make(map[*sweep.Runner][]int)
+	for i, rn := range runners {
+		if _, ok := groups[rn]; !ok {
+			order = append(order, rn)
+		}
+		groups[rn] = append(groups[rn], i)
+	}
+	for _, rn := range order {
+		idx := groups[rn]
+		gp := make([]sweep.Point, len(idx))
+		for j, i := range idx {
+			gp[j] = pts[i]
+		}
+		res, err := rn.RunAll(gp)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		for j, i := range idx {
+			results[i] = res[j]
+		}
+	}
+	s.logf("batch run: %d items across %d suites in %s", len(req.Items), len(order), time.Since(start).Round(time.Millisecond))
+	writeJSON(w, BatchRunResponse{Results: results})
+}
+
+func (s *Server) handleBatchSearch(w http.ResponseWriter, r *http.Request) {
+	var req BatchSearchRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("daemon: bad batch search request: %w", err))
+		return
+	}
+	if !checkBatchSize(w, "search", len(req.Items)) {
+		return
+	}
+	runners := make([]*sweep.Runner, len(req.Items))
+	params := make([]machine.Params, len(req.Items))
+	for i, item := range req.Items {
+		runner, p, status, err := s.prepSearch(item)
+		if err != nil {
+			writeError(w, status, fmt.Errorf("daemon: batch item %d: %w", i, err))
+			return
+		}
+		runners[i], params[i] = runner, p
+	}
+	// Independent searches fan out across the pool; each owns its
+	// Search, and all probes coalesce in the runners' caches. The pool
+	// budget is split between the two layers — par concurrent searches,
+	// each with a slice of the pool for its probe waves (slightly
+	// overcommitted, like experiments.RatioFigure) — so one batch never
+	// multiplies into Parallelism² simulation workers.
+	pool := s.cfg.Parallelism
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	par := pool
+	if par > len(req.Items) {
+		par = len(req.Items)
+	}
+	searchPar := 2 * pool / len(req.Items)
+	if searchPar < 1 {
+		searchPar = 1
+	}
+	start := time.Now()
+	results := make([]SearchResponse, len(req.Items))
+	errs := make([]error, len(req.Items))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for g := 0; g < par; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i], errs[i] = execSearch(runners[i], params[i], req.Items[i], searchPar)
+			}
+		}()
+	}
+	for i := range req.Items {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	s.logf("batch search: %d items in %s", len(req.Items), time.Since(start).Round(time.Millisecond))
+	writeJSON(w, BatchSearchResponse{Results: results})
 }
 
 // Stats aggregates cache traffic across every runner the daemon has

@@ -51,6 +51,25 @@ type Context struct {
 	// partitions) still simulate locally. Set it before the first
 	// experiment runs.
 	Remote func(workload string, scale int, fingerprint string, pt sweep.Point) (*engine.Result, error)
+	// RemoteBatch, when non-nil, executes whole point sets remotely in
+	// one call — it becomes each workload runner's RemoteBatch hook, so
+	// figure sweeps and search probe waves travel as one request per
+	// fleet replica instead of one per point (daemon.Client.RunBatch and
+	// daemon.FleetClient.RunBatch have this signature; repro -remote
+	// attaches it alongside Remote unless -remote-batch=false). Set it
+	// before the first experiment runs.
+	RemoteBatch func(workload string, scale int, fingerprint string, pts []sweep.Point) ([]*engine.Result, error)
+	// RemoteSearch, when non-nil, executes a whole curve of
+	// equivalent-window ratio searches (the unit of Figures 7-9)
+	// server-side in one call, instead of probing locally and shipping
+	// each probe wave. The answers are identical either way — the search
+	// probe path is a fixed function of its inputs (metrics.Search), not
+	// of where it executes — but a server-side curve is one round trip
+	// where even a batched local search needs several per ratio point.
+	// daemon.Client.RatioBatch and daemon.FleetClient.RatioBatch have
+	// this signature (repro -remote attaches it unless
+	// -remote-batch=false). Set it before the first experiment runs.
+	RemoteSearch func(workload string, scale int, fingerprint string, params []machine.Params) ([]RatioAnswer, error)
 
 	mu         sync.Mutex
 	runners    map[string]*runnerEntry
@@ -113,6 +132,12 @@ func (c *Context) buildRunner(name string) (*sweep.Runner, error) {
 		remote, scale, fp := c.Remote, c.Scale, suite.Fingerprint()
 		r.Remote = func(pt sweep.Point) (*engine.Result, error) {
 			return remote(name, scale, fp, pt)
+		}
+	}
+	if c.RemoteBatch != nil {
+		rb, scale, fp := c.RemoteBatch, c.Scale, suite.Fingerprint()
+		r.RemoteBatch = func(pts []sweep.Point) ([]*engine.Result, error) {
+			return rb(name, scale, fp, pts)
 		}
 	}
 	return r, nil
@@ -342,6 +367,47 @@ func (c *Context) RatioFigure(name string) (*RatioResult, error) {
 	}
 	res := &RatioResult{Number: num, Workload: name, Saturated: map[int][]int{}}
 	res.Series = make([]sweep.Series, len(RatioMDs))
+	par := c.par()
+	// With a remote search service attached, each MD curve travels as
+	// one server-side batch: the daemon runs the same deterministic
+	// searches over its own shared cache, so a whole figure costs a few
+	// round trips instead of one per probe wave — and the values are
+	// identical to the local path by construction.
+	if c.RemoteSearch != nil {
+		fp := r.Suite.Fingerprint()
+		var mu sync.Mutex // guards res.Saturated
+		if err := forEach(par, len(RatioMDs), func(mi int) error {
+			md := RatioMDs[mi]
+			params := make([]machine.Params, len(RatioWindows))
+			for wi, w := range RatioWindows {
+				params[wi] = machine.Params{Window: w, MD: md}
+			}
+			answers, err := c.RemoteSearch(name, c.Scale, fp, params)
+			if err != nil {
+				return err
+			}
+			if len(answers) != len(params) {
+				return fmt.Errorf("experiments: remote search returned %d answers for %d ratio points", len(answers), len(params))
+			}
+			s := sweep.Series{Name: fmt.Sprintf("md=%d", md)}
+			for wi, a := range answers {
+				if !a.OK {
+					mu.Lock()
+					res.Saturated[md] = append(res.Saturated[md], RatioWindows[wi])
+					mu.Unlock()
+					continue
+				}
+				s.X = append(s.X, float64(RatioWindows[wi]))
+				s.Y = append(s.Y, a.Ratio)
+			}
+			res.Series[mi] = s
+			c.addStats(sweep.CacheStats{RemoteSearches: int64(len(params))})
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
 	// The MD curves are independent, so they fan out across the pool: one
 	// goroutine and one Search per curve (a Search parallelizes
 	// internally but is not safe for concurrent use). Every probe routes
@@ -350,7 +416,6 @@ func (c *Context) RatioFigure(name string) (*RatioResult, error) {
 	// curve's probe fan-out gets a slice of the pool; the division
 	// overcommits slightly (searches spend time between waves) rather
 	// than letting finished curves idle the pool.
-	par := c.par()
 	searchPar := 2 * par / len(RatioMDs)
 	if searchPar < 1 {
 		searchPar = 1
@@ -381,6 +446,13 @@ func (c *Context) RatioFigure(name string) (*RatioResult, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// RatioAnswer is one RemoteSearch result: the equivalent-window ratio
+// at a DM configuration, or OK=false when the search saturated.
+type RatioAnswer struct {
+	Ratio float64
+	OK    bool
 }
 
 // CutoffRow records the MD=0 crossover for one program.

@@ -142,12 +142,22 @@ func searchFrom(run RunFunc, target int64, hint int) (window int, ok bool, err e
 // memoized by the Runner, so overlapping sweeps (WindowSweep curves, the
 // other MD curves of a ratio figure) share results.
 //
-// When Parallelism (or the Runner's) exceeds one, the search is
-// speculative-parallel: the exponential bracket ladder is evaluated
-// concurrently in one wave, and each binary-search layer probes several
-// interior points at once (k-section), trading redundant simulations for
-// wall-clock depth. Points carrying a custom Params.Mem fall back to the
-// serial path: stateful memory models are not safe to probe concurrently.
+// The search is speculative and wave-structured: the exponential
+// bracket ladder is evaluated as one wave, then each refinement layer
+// probes kSectionWidth interior points at once (k-section), trading
+// redundant simulations for wall-clock depth. The wave contents are a
+// pure function of the hint and the probe results — never of
+// Parallelism, GOMAXPROCS, or where the probes execute — so a search
+// returns the same window on a laptop, a CI runner, and a sweepd fleet
+// (TestSearchDeterministicAcrossParallelism), and byte-identity between
+// local and remote reproductions is structural rather than lucky.
+// Parallelism only chooses how a wave is executed: fanned across
+// per-goroutine scratches, serially on one, or — when the Runner has a
+// RemoteBatch hook — as a single batched round trip per wave, which is
+// what collapses a remote search's request count (DESIGN.md §11).
+// Points carrying a custom Params.Mem fall back to a serial adaptive
+// path: stateful memory models are not safe to probe concurrently (or
+// remotely).
 //
 // A Search is not safe for concurrent use by multiple goroutines; it
 // parallelizes internally.
@@ -193,22 +203,34 @@ func (s *Search) probe(sim *engine.Sim, p machine.Params, w int) (int64, error) 
 	return r.Cycles, nil
 }
 
-// evalBatch evaluates the SWSM time at every window in ws, fanning the
-// probes across the worker pool. Each worker owns one scratch context.
-func (s *Search) evalBatch(p machine.Params, ws []int) ([]int64, error) {
-	times := make([]int64, len(ws))
-	par := s.par()
-	if par > len(ws) {
-		par = len(ws)
+// evalWave evaluates one wave of points. The wave's results do not
+// depend on the execution strategy: a batched remote round trip when
+// the Runner has one, else a fan across the worker pool (each worker
+// owning one scratch context), else a serial loop.
+func (s *Search) evalWave(pts []sweep.Point) ([]int64, error) {
+	times := make([]int64, len(pts))
+	if s.Runner.RemoteBatch != nil {
+		results, err := s.Runner.RunBatch(pts)
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range results {
+			times[i] = r.Cycles
+		}
+		return times, nil
 	}
-	if par <= 1 || p.Mem != nil {
+	par := s.par()
+	if par > len(pts) {
+		par = len(pts)
+	}
+	if par <= 1 {
 		sim := s.sim(0)
-		for i, w := range ws {
-			t, err := s.probe(sim, p, w)
+		for i, pt := range pts {
+			r, err := s.Runner.RunWith(sim, pt)
 			if err != nil {
 				return nil, err
 			}
-			times[i] = t
+			times[i] = r.Cycles
 		}
 		return times, nil
 	}
@@ -219,13 +241,13 @@ func (s *Search) evalBatch(p machine.Params, ws []int) ([]int64, error) {
 		wg.Add(1)
 		go func(g int, sim *engine.Sim) {
 			defer wg.Done()
-			for i := g; i < len(ws); i += par {
-				t, err := s.probe(sim, p, ws[i])
+			for i := g; i < len(pts); i += par {
+				r, err := s.Runner.RunWith(sim, pts[i])
 				if err != nil {
 					errs[g] = err
 					return
 				}
-				times[i] = t
+				times[i] = r.Cycles
 			}
 		}(g, sim)
 	}
@@ -238,6 +260,17 @@ func (s *Search) evalBatch(p machine.Params, ws []int) ([]int64, error) {
 	return times, nil
 }
 
+// evalBatch evaluates the SWSM time at every window in ws as one wave.
+func (s *Search) evalBatch(p machine.Params, ws []int) ([]int64, error) {
+	pts := make([]sweep.Point, len(ws))
+	for i, w := range ws {
+		q := p
+		q.Window = w
+		pts[i] = sweep.Point{Kind: machine.SWSM, P: q}
+	}
+	return s.evalWave(pts)
+}
+
 // EquivalentWindow returns the smallest SWSM window (running the suite
 // under p with p.Window replaced by the candidate) whose time is at most
 // target cycles. p.Window, when positive, seeds the bracket: the search
@@ -246,24 +279,55 @@ func (s *Search) evalBatch(p machine.Params, ws []int) ([]int64, error) {
 //
 // Minimality holds under monotonicity of time in window size, which the
 // engine satisfies up to small Graham anomalies (DESIGN.md §3). Inside
-// an anomaly wobble band the boundary is ambiguous, and the returned
-// window can depend on the probe path — the hint and the Parallelism —
-// though it always satisfies t(w) <= target < t(w-1).
+// an anomaly wobble band the boundary is ambiguous and the returned
+// window depends on the probe path — but the probe path is a pure
+// function of the hint and the probe results, never of Parallelism or
+// execution placement (the Search doc has the contract), so the answer
+// is reproducible everywhere and always satisfies
+// t(w) <= target < t(w-1). Only the hint can steer which boundary of a
+// wobble band is reported.
 func (s *Search) EquivalentWindow(p machine.Params, target int64) (window int, ok bool, err error) {
-	hint := p.Window
-	if hint < 1 {
-		hint = 1
-	}
-	if hint > MaxEquivalentWindow {
-		hint = MaxEquivalentWindow
-	}
-	if s.par() <= 1 || p.Mem != nil {
+	hint := clampHint(p.Window)
+	if p.Mem != nil {
 		sim := s.sim(0)
 		return searchFrom(func(w int) (int64, error) { return s.probe(sim, p, w) }, target, hint)
 	}
+	ladder := ladderWindows(hint)
+	end := ladderStage
+	if end > len(ladder) {
+		end = len(ladder)
+	}
+	times, err := s.evalBatch(p, ladder[:end])
+	if err != nil {
+		return 0, false, err
+	}
+	return s.ladderSearch(p, target, ladder, times)
+}
 
-	// Speculative ladder: the hint and its doublings up to the cap, all
-	// probed in one parallel wave.
+// kSectionWidth is the interior-probe count of each refinement wave.
+// It is a fixed constant — not the machine's parallelism — because the
+// wave contents define the search's answer path, and that path must be
+// identical everywhere for local, remote, and differently-sized hosts
+// to agree bit-for-bit on figure values. 4 shrinks a bracket 5x per
+// wave — 2-3 waves for figure-scale brackets — while keeping the
+// redundant-probe overhead on serial hosts within ~20% of the old
+// adaptive search (measured on repro -exp all).
+const kSectionWidth = 4
+
+// clampHint bounds a bracket hint to [1, MaxEquivalentWindow].
+func clampHint(hint int) int {
+	if hint < 1 {
+		return 1
+	}
+	if hint > MaxEquivalentWindow {
+		return MaxEquivalentWindow
+	}
+	return hint
+}
+
+// ladderWindows is the speculative bracket sequence for a hint: the
+// hint and its doublings up to the cap. A pure function of the hint.
+func ladderWindows(hint int) []int {
 	ladder := []int{hint}
 	for w := 2 * hint; w < MaxEquivalentWindow; w *= 2 {
 		ladder = append(ladder, w)
@@ -271,10 +335,48 @@ func (s *Search) EquivalentWindow(p machine.Params, target int64) (window int, o
 	if ladder[len(ladder)-1] != MaxEquivalentWindow {
 		ladder = append(ladder, MaxEquivalentWindow)
 	}
-	times, err := s.evalBatch(p, ladder)
-	if err != nil {
-		return 0, false, err
+	return ladder
+}
+
+// ladderStage is how many ladder rungs one wave speculates on. Figure
+// ratios land within a few doublings of the hint, so a 4-rung stage
+// (hint..8×hint) resolves most searches in one wave without paying for
+// the cap-sized probes a full-ladder wave would waste; only searches
+// that overshoot the stage climb to the next one.
+const ladderStage = 4
+
+// ladderSearch continues a partially evaluated ladder (times covers
+// ladder[:len(times)]) stage by stage until a rung meets the target or
+// the ladder is exhausted, then refines the bracket. The probe path is
+// a pure function of (ladder, target, probe results).
+func (s *Search) ladderSearch(p machine.Params, target int64, ladder []int, times []int64) (window int, ok bool, err error) {
+	found := func() bool {
+		for _, t := range times {
+			if t <= target {
+				return true
+			}
+		}
+		return false
 	}
+	for !found() && len(times) < len(ladder) {
+		end := len(times) + ladderStage
+		if end > len(ladder) {
+			end = len(ladder)
+		}
+		chunk, err := s.evalBatch(p, ladder[len(times):end])
+		if err != nil {
+			return 0, false, err
+		}
+		times = append(times, chunk...)
+	}
+	return s.refine(p, target, ladder[:len(times)], times)
+}
+
+// refine turns evaluated ladder times into the smallest target-meeting
+// window: bracket from the first ladder rung meeting the target, then
+// k-section waves of kSectionWidth interior points until the bracket
+// closes.
+func (s *Search) refine(p machine.Params, target int64, ladder []int, times []int64) (window int, ok bool, err error) {
 	first := -1
 	for i, t := range times {
 		if t <= target {
@@ -289,12 +391,9 @@ func (s *Search) EquivalentWindow(p machine.Params, target int64) (window int, o
 	if first > 0 {
 		lo = ladder[first-1] + 1
 	}
-
-	// k-section: each layer probes up to par interior points at once,
-	// shrinking [lo, hi] by a factor of par+1 per wave instead of 2.
 	for lo < hi {
 		span := hi - lo
-		m := s.par()
+		m := kSectionWidth
 		if m > span {
 			m = span
 		}
@@ -344,11 +443,39 @@ func (s *Search) EquivalentWindowRatio(p machine.Params) (ratio float64, ok bool
 	if p.Window <= 0 {
 		return 0, false, fmt.Errorf("metrics: equivalent window ratio needs a finite DM window")
 	}
-	dm, err := s.Runner.RunWith(s.sim(0), sweep.Point{Kind: machine.DM, P: p})
+	if p.Mem != nil {
+		dm, err := s.Runner.RunWith(s.sim(0), sweep.Point{Kind: machine.DM, P: p})
+		if err != nil {
+			return 0, false, err
+		}
+		w, ok, err := s.EquivalentWindow(p, dm.Cycles)
+		if err != nil {
+			return 0, false, err
+		}
+		return float64(w) / float64(p.Window), ok, nil
+	}
+	// The DM anchor rides in the first wave with the first ladder stage:
+	// the ladder's contents depend only on the hint, not on the target,
+	// so nothing forces the anchor to resolve first — and folding it in
+	// saves a remote search one full round trip per ratio point.
+	hint := clampHint(p.Window)
+	ladder := ladderWindows(hint)
+	end := ladderStage
+	if end > len(ladder) {
+		end = len(ladder)
+	}
+	pts := make([]sweep.Point, 0, end+1)
+	pts = append(pts, sweep.Point{Kind: machine.DM, P: p})
+	for _, w := range ladder[:end] {
+		q := p
+		q.Window = w
+		pts = append(pts, sweep.Point{Kind: machine.SWSM, P: q})
+	}
+	times, err := s.evalWave(pts)
 	if err != nil {
 		return 0, false, err
 	}
-	w, ok, err := s.EquivalentWindow(p, dm.Cycles)
+	w, ok, err := s.ladderSearch(p, times[0], ladder, times[1:])
 	if err != nil {
 		return 0, false, err
 	}

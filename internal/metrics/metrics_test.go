@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"daesim/internal/engine"
 	"daesim/internal/kernel"
 	"daesim/internal/machine"
 	"daesim/internal/partition"
@@ -185,6 +186,85 @@ func TestSearchParallelMatchesSerial(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestSearchDeterministicAcrossParallelism pins the fleet-era contract
+// the probe waves were redesigned around: the search answer is a pure
+// function of its inputs — never of Parallelism, GOMAXPROCS, or
+// whether probes execute locally or through a batch-capable runner.
+// This is what makes a server-side search byte-identical to a local
+// one by construction (DESIGN.md §11), not merely in practice.
+func TestSearchDeterministicAcrossParallelism(t *testing.T) {
+	s := smallSuite(t)
+	dm, err := s.RunDM(machine.Params{Window: 12, MD: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := machine.Params{Window: 12, MD: 40, MemQueue: 24}
+
+	type answer struct {
+		w  int
+		ok bool
+	}
+	var want answer
+	for i, par := range []int{1, 2, 4, 9} {
+		search := NewSearch(sweep.NewRunner(s))
+		search.Parallelism = par
+		w, ok, err := search.EquivalentWindow(p, dm.Cycles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = answer{w, ok}
+			continue
+		}
+		if (answer{w, ok}) != want {
+			t.Errorf("par=%d: (%d, %v) differs from par=1's (%d, %v)", par, w, ok, want.w, want.ok)
+		}
+	}
+
+	// A batch-capable runner (the remote path) probes the same waves and
+	// lands on the same answer; every probe travels through RemoteBatch.
+	exec := sweep.NewRunner(s)
+	batched := sweep.NewRunner(s)
+	waves := 0
+	batched.RemoteBatch = func(pts []sweep.Point) ([]*engine.Result, error) {
+		waves++
+		return exec.RunAll(pts)
+	}
+	search := NewSearch(batched)
+	w, ok, err := search.EquivalentWindow(p, dm.Cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (answer{w, ok}) != want {
+		t.Errorf("batch-capable runner: (%d, %v) differs from local (%d, %v)", w, ok, want.w, want.ok)
+	}
+	if waves == 0 {
+		t.Error("batch-capable runner should have routed probe waves remotely")
+	}
+	if st := batched.Stats(); st.Sims != 0 {
+		t.Errorf("batch-capable runner simulated %d probes locally", st.Sims)
+	}
+	t.Logf("search resolved in %d remote waves", waves)
+
+	// The ratio search folds its DM anchor into the first wave: one
+	// round trip covers anchor plus ladder stage.
+	execR := sweep.NewRunner(s)
+	batchedR := sweep.NewRunner(s)
+	var firstWave []sweep.Point
+	batchedR.RemoteBatch = func(pts []sweep.Point) ([]*engine.Result, error) {
+		if firstWave == nil {
+			firstWave = append([]sweep.Point(nil), pts...)
+		}
+		return execR.RunAll(pts)
+	}
+	if _, _, err := NewSearch(batchedR).EquivalentWindowRatio(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(firstWave) < 2 || firstWave[0].Kind != machine.DM || firstWave[1].Kind != machine.SWSM {
+		t.Errorf("ratio search's first wave should carry the DM anchor plus SWSM rungs, got %d points", len(firstWave))
 	}
 }
 

@@ -47,6 +47,12 @@ type CacheStats struct {
 	StoreHits int64
 	// RemoteHits are points served by a remote daemon (Runner.Remote).
 	RemoteHits int64
+	// RemoteSearches are whole equivalent-window searches answered
+	// server-side by a remote daemon (experiments.Context.RemoteSearch)
+	// — each stands for a full probe sequence that never touched the
+	// local layers, so they are reported alongside RemoteHits but are
+	// not points and do not enter HitRate.
+	RemoteSearches int64
 	// Sims are simulations actually executed for cacheable points.
 	Sims int64
 	// Uncacheable are runs that bypassed both layers (custom Params.Mem).
@@ -58,6 +64,7 @@ func (s *CacheStats) Add(other CacheStats) {
 	s.L1Hits += other.L1Hits
 	s.StoreHits += other.StoreHits
 	s.RemoteHits += other.RemoteHits
+	s.RemoteSearches += other.RemoteSearches
 	s.Sims += other.Sims
 	s.Uncacheable += other.Uncacheable
 }
@@ -95,6 +102,17 @@ type Runner struct {
 	// points (custom Params.Mem) never route remotely — a MemModel is
 	// arbitrary local code. Set it before the first Run.
 	Remote func(Point) (*engine.Result, error)
+	// RemoteBatch, when non-nil, executes a whole set of cacheable
+	// misses in one call — typically a daemon fleet client
+	// (internal/daemon.FleetClient.RunBatch bound to a workload), so a
+	// probe wave or figure sweep becomes one HTTP round trip per
+	// replica instead of one request per point. RunBatch and RunAll
+	// consult it for the points that miss the local layers; single-point
+	// paths (RunWith) still use Remote, so set both when attaching a
+	// remote. Same contract as Remote otherwise: errors surface loudly,
+	// results install into the local Store, uncacheable points never
+	// route. Set it before the first Run.
+	RemoteBatch func([]Point) ([]*engine.Result, error)
 
 	mu     sync.Mutex
 	cache  map[key]*entry
@@ -179,16 +197,22 @@ func (r *Runner) RunWith(sim *engine.Sim, pt Point) (*engine.Result, error) {
 // persistent store when possible, else by simulating (and installing the
 // result back into the store).
 func (r *Runner) fill(sim *engine.Sim, pt Point) (*engine.Result, error) {
-	sk, persistent := "", false
 	if r.Store != nil {
-		sk, persistent = r.storeKey(pt)
-		if persistent {
-			if res, ok := r.Store.Get(sk); ok {
+		if sk, ok := r.storeKey(pt); ok {
+			if res, hit := r.Store.Get(sk); hit {
 				r.storeHits.Add(1)
 				return res, nil
 			}
 		}
 	}
+	return r.fillMiss(sim, pt)
+}
+
+// fillMiss produces the canonical result for a point already known to
+// miss the store — the point-wise remote hook or the local simulator —
+// and installs it. Callers that just proved the store miss (RunBatch's
+// parallel peel) come here directly rather than paying a second Get.
+func (r *Runner) fillMiss(sim *engine.Sim, pt Point) (*engine.Result, error) {
 	var res *engine.Result
 	var err error
 	if r.Remote != nil {
@@ -204,8 +228,10 @@ func (r *Runner) fill(sim *engine.Sim, pt Point) (*engine.Result, error) {
 		}
 		r.sims.Add(1)
 	}
-	if persistent {
-		r.Store.Put(sk, res)
+	if r.Store != nil {
+		if sk, ok := r.storeKey(pt); ok {
+			r.Store.Put(sk, res)
+		}
 	}
 	return res, nil
 }
@@ -221,30 +247,27 @@ func (r *Runner) Stats() CacheStats {
 	}
 }
 
-// RunAll executes all points, in parallel, preserving order. The first
-// error aborts the sweep.
-func (r *Runner) RunAll(pts []Point) ([]*engine.Result, error) {
+// forEach fans fn(sim, i) for i in [0, n) across at most
+// min(Parallelism, n) worker goroutines, each owning one scratch
+// context; with a single worker it runs inline. fn communicates
+// through its captures (result and error slices indexed by i). This is
+// the one worker-pool shape RunAll, RunBatch's store peel and
+// fillBatch all share.
+func (r *Runner) forEach(n int, fn func(sim *engine.Sim, i int)) {
 	par := r.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	if par > len(pts) {
-		par = len(pts)
+	if par > n {
+		par = n
 	}
 	if par <= 1 {
-		out := make([]*engine.Result, len(pts))
 		sim := engine.NewSim()
-		for i, pt := range pts {
-			res, err := r.RunWith(sim, pt)
-			if err != nil {
-				return nil, fmt.Errorf("sweep: point %d: %w", i, err)
-			}
-			out[i] = res
+		for i := 0; i < n; i++ {
+			fn(sim, i)
 		}
-		return out, nil
+		return
 	}
-	out := make([]*engine.Result, len(pts))
-	errs := make([]error, len(pts))
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for w := 0; w < par; w++ {
@@ -255,16 +278,203 @@ func (r *Runner) RunAll(pts []Point) ([]*engine.Result, error) {
 			// reuse state without contending on the shared pool.
 			sim := engine.NewSim()
 			for i := range work {
-				res, err := r.RunWith(sim, pts[i])
-				out[i], errs[i] = res, err
+				fn(sim, i)
 			}
 		}()
 	}
-	for i := range pts {
+	for i := 0; i < n; i++ {
 		work <- i
 	}
 	close(work)
 	wg.Wait()
+}
+
+// RunBatch executes a set of points as one unit, preserving order: L1
+// and Store hits are peeled off locally, and the remaining misses go to
+// RemoteBatch in a single call when it is set (else they are simulated
+// locally in parallel). This is the request-collapsing path of remote
+// sweeps — a probe wave whose points are all warm issues no remote
+// traffic at all — and it keeps the single-flight contract: misses are
+// claimed before filling, so concurrent overlapping batches never
+// duplicate a simulation. The first error aborts the batch; failed
+// claims are dropped so later callers retry.
+func (r *Runner) RunBatch(pts []Point) ([]*engine.Result, error) {
+	out := make([]*engine.Result, len(pts))
+	var owned, waiters []claim
+	var uncached []int
+	r.mu.Lock()
+	for i, pt := range pts {
+		if pt.P.Mem != nil {
+			uncached = append(uncached, i)
+			continue
+		}
+		kp := pt.P
+		kp.Retire = machine.ResolveRetire(kp.Retire)
+		k := key{kind: pt.Kind, p: kp}
+		if e, ok := r.cache[k]; ok {
+			waiters = append(waiters, claim{i, e, k})
+			continue
+		}
+		e := &entry{ready: make(chan struct{})}
+		r.cache[k] = e
+		owned = append(owned, claim{i, e, k})
+	}
+	r.mu.Unlock()
+
+	// Fill owned claims: store first, then the misses — remotely in one
+	// batch when RemoteBatch is set, else locally across the pool. The
+	// store peel fans its blob reads (disk + decode + checksum) across
+	// the worker pool: a warm-store batch is exactly the case batching
+	// exists to make fast, so it must not serialize the I/O the
+	// point-wise path already overlapped.
+	var misses []claim
+	if r.Store == nil {
+		misses = owned
+	} else {
+		hits := make([]*engine.Result, len(owned))
+		r.forEach(len(owned), func(_ *engine.Sim, j int) {
+			if sk, ok := r.storeKey(pts[owned[j].idx]); ok {
+				if res, hit := r.Store.Get(sk); hit {
+					hits[j] = res
+				}
+			}
+		})
+		for j, c := range owned {
+			if res := hits[j]; res != nil {
+				r.storeHits.Add(1)
+				c.e.res = res
+				close(c.e.ready)
+				out[c.idx] = res.Clone()
+				continue
+			}
+			misses = append(misses, c)
+		}
+	}
+	if len(misses) > 0 {
+		if err := r.fillBatch(pts, misses, func(c claim, res *engine.Result) {
+			c.e.res = res
+			close(c.e.ready)
+			out[c.idx] = res.Clone()
+		}); err != nil {
+			// Drop the unfilled claims so later callers retry, and
+			// settle their waiters with the error.
+			r.mu.Lock()
+			for _, c := range misses {
+				if c.e.res == nil {
+					delete(r.cache, c.k)
+				}
+			}
+			r.mu.Unlock()
+			for _, c := range misses {
+				if c.e.res == nil {
+					c.e.err = err
+					close(c.e.ready)
+				}
+			}
+			return nil, err
+		}
+	}
+
+	// Uncacheable points bypass both layers, like RunWith.
+	if len(uncached) > 0 {
+		sim := engine.NewSim()
+		for _, i := range uncached {
+			r.uncacheable.Add(1)
+			res, err := r.Suite.RunWith(sim, pts[i].Kind, pts[i].P)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: point %d: %w", i, err)
+			}
+			out[i] = res
+		}
+	}
+
+	// Entries owned elsewhere: every claim of ours is settled by now, so
+	// waiting last cannot deadlock on our own batch's duplicates.
+	for _, c := range waiters {
+		<-c.e.ready
+		if c.e.err != nil {
+			return nil, fmt.Errorf("sweep: point %d: %w", c.idx, c.e.err)
+		}
+		r.l1Hits.Add(1)
+		out[c.idx] = c.e.res.Clone()
+	}
+	return out, nil
+}
+
+// claim is one cacheable point's L1 slot within a RunBatch: either
+// owned by that call (it fills and settles the entry) or by another
+// in-flight caller (the batch waits on it).
+type claim struct {
+	idx int
+	e   *entry
+	k   key
+}
+
+// fillBatch produces canonical results for claimed misses and hands
+// each to settle. With RemoteBatch: one remote call for the whole set.
+// Without: local simulation across the worker pool. Results install
+// into the Store either way.
+func (r *Runner) fillBatch(pts []Point, misses []claim, settle func(c claim, res *engine.Result)) error {
+	if r.RemoteBatch != nil {
+		mpts := make([]Point, len(misses))
+		for j, c := range misses {
+			mpts[j] = pts[c.idx]
+		}
+		results, err := r.RemoteBatch(mpts)
+		if err != nil {
+			return err
+		}
+		if len(results) != len(mpts) {
+			return fmt.Errorf("sweep: remote batch returned %d results for %d points", len(results), len(mpts))
+		}
+		for j, res := range results {
+			if res == nil {
+				// Never settle a nil into the L1 or persist it: fail the
+				// batch loudly like any other remote error. Indices in
+				// errors are caller-relative (the batch's point list),
+				// matching the local path.
+				return fmt.Errorf("sweep: remote batch returned a nil result for point %d", misses[j].idx)
+			}
+		}
+		for j, c := range misses {
+			r.remoteHits.Add(1)
+			if r.Store != nil {
+				if sk, ok := r.storeKey(pts[c.idx]); ok {
+					r.Store.Put(sk, results[j])
+				}
+			}
+			settle(c, results[j])
+		}
+		return nil
+	}
+	results := make([]*engine.Result, len(misses))
+	errs := make([]error, len(misses))
+	r.forEach(len(misses), func(sim *engine.Sim, j int) {
+		results[j], errs[j] = r.fillMiss(sim, pts[misses[j].idx])
+	})
+	for j, err := range errs {
+		if err != nil {
+			return fmt.Errorf("sweep: point %d: %w", misses[j].idx, err)
+		}
+	}
+	for j, c := range misses {
+		settle(c, results[j])
+	}
+	return nil
+}
+
+// RunAll executes all points, in parallel, preserving order. The first
+// error aborts the sweep. With RemoteBatch attached the whole sweep
+// collapses into batched remote calls (see RunBatch).
+func (r *Runner) RunAll(pts []Point) ([]*engine.Result, error) {
+	if r.RemoteBatch != nil {
+		return r.RunBatch(pts)
+	}
+	out := make([]*engine.Result, len(pts))
+	errs := make([]error, len(pts))
+	r.forEach(len(pts), func(sim *engine.Sim, i int) {
+		out[i], errs[i] = r.RunWith(sim, pts[i])
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("sweep: point %d: %w", i, err)

@@ -1,7 +1,9 @@
 package sweep
 
 import (
+	"errors"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -134,6 +136,197 @@ func TestRunAllOrderAndParallel(t *testing.T) {
 			t.Fatalf("parallel/serial divergence at %d: %d vs %d", i, results[i].Cycles, serial[i].Cycles)
 		}
 	}
+}
+
+// TestRunBatchMatchesRunAll: the batched path answers exactly what the
+// point-wise path would — including duplicates, cached points and
+// uncacheable custom-Mem points — with the same counters a point-wise
+// run would produce.
+func TestRunBatchMatchesRunAll(t *testing.T) {
+	oracle := testRunner(t)
+	r := testRunner(t)
+	var calls atomic.Int64
+	mem := &countingMem{calls: &calls}
+	pts := []Point{
+		{Kind: machine.DM, P: machine.Params{Window: 8, MD: 30}},
+		{Kind: machine.SWSM, P: machine.Params{Window: 16, MD: 30}},
+		{Kind: machine.DM, P: machine.Params{Window: 8, MD: 30}}, // duplicate
+		{Kind: machine.DM, P: machine.Params{Window: 8, MD: 30, Mem: mem}},
+		{Kind: machine.DM, P: machine.Params{Window: 4, MD: 30}},
+	}
+	// Warm one point so the batch sees a pre-existing L1 entry.
+	if _, err := r.Run(pts[4]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.RunBatch(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := oracle.RunAll(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("point %d: batch result differs from point-wise", i)
+		}
+	}
+	st := r.Stats()
+	if st.Sims != 3 || st.L1Hits != 2 || st.Uncacheable != 1 {
+		t.Errorf("want 3 sims, 2 L1 hits, 1 uncacheable, got %+v", st)
+	}
+	// Returned results are private copies, like every other path.
+	got[0].Cycles = -1
+	again, err := r.RunBatch(pts[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].Cycles == -1 {
+		t.Error("RunBatch leaked the cached Result")
+	}
+}
+
+// TestRunBatchRemote: with a RemoteBatch hook, exactly the local-layer
+// misses travel, in one call; warm batches travel nothing; a remote
+// error fails the batch loudly and drops the claims so a retry works.
+func TestRunBatchRemote(t *testing.T) {
+	exec := testRunner(t) // stands in for the daemon fleet
+	r := testRunner(t)
+	var calls, points atomic.Int64
+	var fail atomic.Bool
+	r.RemoteBatch = func(pts []Point) ([]*engine.Result, error) {
+		if fail.Load() {
+			return nil, errFleetDown
+		}
+		calls.Add(1)
+		points.Add(int64(len(pts)))
+		return exec.RunAll(pts)
+	}
+
+	var pts []Point
+	for _, w := range []int{4, 8, 16, 32} {
+		pts = append(pts, Point{Kind: machine.DM, P: machine.Params{Window: w, MD: 30}})
+	}
+	// Pre-warm one point locally: it must not travel.
+	r.RemoteBatch = nil
+	if _, err := r.Run(pts[0]); err != nil {
+		t.Fatal(err)
+	}
+	r.RemoteBatch = func(pts []Point) ([]*engine.Result, error) {
+		if fail.Load() {
+			return nil, errFleetDown
+		}
+		calls.Add(1)
+		points.Add(int64(len(pts)))
+		return exec.RunAll(pts)
+	}
+
+	got, err := r.RunBatch(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 || points.Load() != 3 {
+		t.Errorf("want 1 remote call carrying the 3 misses, got %d calls, %d points", calls.Load(), points.Load())
+	}
+	for i, pt := range pts {
+		local, err := exec.Run(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].Cycles != local.Cycles {
+			t.Errorf("point %d: remote-batched result differs", i)
+		}
+	}
+	// Warm batch: everything is an L1 hit, nothing travels.
+	if _, err := r.RunBatch(pts); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("warm batch should travel nothing, remote calls went to %d", calls.Load())
+	}
+	st := r.Stats()
+	if st.RemoteHits != 3 || st.Sims != 1 {
+		t.Errorf("want 3 remote hits and the 1 pre-warmed local sim, got %+v", st)
+	}
+
+	// RunAll delegates to the batched path when the hook is set.
+	if _, err := r.RunAll(pts); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("warm RunAll should not re-travel, remote calls went to %d", calls.Load())
+	}
+
+	// A remote failure surfaces and does not poison the cache.
+	fresh := Point{Kind: machine.SWSM, P: machine.Params{Window: 64, MD: 30}}
+	fail.Store(true)
+	if _, err := r.RunBatch([]Point{fresh}); err == nil {
+		t.Fatal("remote batch failure must surface")
+	}
+	fail.Store(false)
+	if _, err := r.RunBatch([]Point{fresh}); err != nil {
+		t.Fatalf("retry after a remote failure: %v", err)
+	}
+}
+
+var errFleetDown = errors.New("fleet down")
+
+// TestRunBatchStorePeel: a fresh process over a warm store serves a
+// batch entirely from L2 — nothing simulates, nothing travels — and a
+// remote nil result is refused before it can poison either layer.
+func TestRunBatchStorePeel(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts []Point
+	for _, w := range []int{4, 8, 16, 32, 64} {
+		pts = append(pts, Point{Kind: machine.DM, P: machine.Params{Window: w, MD: 30}})
+	}
+	warmer := testRunner(t)
+	warmer.Store = store
+	want, err := warmer.RunBatch(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := testRunner(t) // fresh L1, same store
+	r.Store = store
+	r.RemoteBatch = func([]Point) ([]*engine.Result, error) {
+		t.Error("store-warm batch must not travel")
+		return nil, errFleetDown
+	}
+	got, err := r.RunBatch(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if got[i].Cycles != want[i].Cycles {
+			t.Errorf("point %d: store-peeled result differs", i)
+		}
+	}
+	if st := r.Stats(); st.StoreHits != int64(len(pts)) || st.Sims != 0 {
+		t.Errorf("want %d store hits and 0 sims, got %+v", len(pts), st)
+	}
+
+	// A nil element in a remote reply is a loud error, not a cache fill.
+	bad := testRunner(t)
+	bad.RemoteBatch = func(pts []Point) ([]*engine.Result, error) {
+		return make([]*engine.Result, len(pts)), nil
+	}
+	if _, err := bad.RunBatch(pts[:1]); err == nil || !errorsContains(err, "nil result") {
+		t.Errorf("nil remote result must fail the batch: %v", err)
+	}
+	if st := bad.Stats(); st.RemoteHits != 0 {
+		t.Errorf("nil results must not count as remote hits: %+v", st)
+	}
+	if _, err := bad.RunBatch(pts[:1]); err == nil {
+		t.Error("the poisoned claim should have been dropped and retried remotely (still failing)")
+	}
+}
+
+func errorsContains(err error, sub string) bool {
+	return err != nil && strings.Contains(err.Error(), sub)
 }
 
 func TestWindowSweep(t *testing.T) {
