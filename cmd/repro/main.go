@@ -86,13 +86,13 @@ func dispatch(ctx *experiments.Context) map[string]func(io.Writer) error {
 			return nil
 		},
 	}
-	for exp, name := range map[string]string{"fig4": "FLO52Q", "fig5": "MDG", "fig6": "TRACK"} {
-		name := name
-		m[exp] = renderTo(func() (*experiments.FigureResult, error) { return ctx.Figure(name) })
+	for _, f := range []struct{ exp, name string }{{"fig4", "FLO52Q"}, {"fig5", "MDG"}, {"fig6", "TRACK"}} {
+		name := f.name
+		m[f.exp] = renderTo(func() (*experiments.FigureResult, error) { return ctx.Figure(name) })
 	}
-	for exp, name := range map[string]string{"fig7": "FLO52Q", "fig8": "MDG", "fig9": "TRACK"} {
-		name := name
-		m[exp] = renderTo(func() (*experiments.RatioResult, error) { return ctx.RatioFigure(name) })
+	for _, f := range []struct{ exp, name string }{{"fig7", "FLO52Q"}, {"fig8", "MDG"}, {"fig9", "TRACK"}} {
+		name := f.name
+		m[f.exp] = renderTo(func() (*experiments.RatioResult, error) { return ctx.RatioFigure(name) })
 	}
 	return m
 }

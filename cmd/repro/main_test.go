@@ -28,7 +28,7 @@ func TestUsageEnumeratesExperiments(t *testing.T) {
 			t.Errorf("experimentOrder lists %q but dispatch cannot run it", name)
 		}
 	}
-	for name := range table {
+	for name := range table { //daelint:nondeterministic-ok order-free membership assertion over the dispatch table
 		found := false
 		for _, n := range experimentOrder {
 			if n == name {

@@ -27,10 +27,27 @@ import (
 // would silently simulate the default value on the daemon — fails here.
 func TestWireParamsCoverMachineParams(t *testing.T) {
 	t.Parallel()
-	mp := reflect.TypeOf(machine.Params{}).NumField()
-	wp := reflect.TypeOf(Params{}).NumField()
-	if mp != wp+1 {
-		t.Fatalf("machine.Params has %d fields, wire Params %d (want machine = wire + 1, the Mem field); extend the wire protocol", mp, wp)
+	names := func(typ reflect.Type) map[string]bool {
+		m := map[string]bool{}
+		for i := 0; i < typ.NumField(); i++ {
+			m[typ.Field(i).Name] = true
+		}
+		return m
+	}
+	mp := names(reflect.TypeOf(machine.Params{}))
+	wp := names(reflect.TypeOf(Params{}))
+	for n := range mp {
+		if n == "Mem" {
+			continue // deliberately not remotable, see ToParams
+		}
+		if !wp[n] {
+			t.Errorf("machine.Params.%s has no wire counterpart: extend the protocol (daemon.Params, ToParams, Machine)", n)
+		}
+	}
+	for n := range wp {
+		if !mp[n] {
+			t.Errorf("wire Params.%s has no machine counterpart: dead protocol surface, or a rename that forgot one side", n)
+		}
 	}
 }
 

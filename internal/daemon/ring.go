@@ -1,7 +1,6 @@
 package daemon
 
 import (
-	"hash/fnv"
 	"sort"
 	"strconv"
 )
@@ -77,10 +76,16 @@ func NewRing(members []string) *Ring {
 // clustered ring positions (measured max member share up to ~86% of a
 // 3-member keyspace over random member names); full avalanche brings
 // the worst case under ~50% (TestRingBalanceAcrossMemberNames).
+// The FNV loop is written out so hashing a key neither boxes a
+// hash.Hash64 nor copies the key to []byte.
+//
+//daelint:hotpath
 func ringHash(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	x := h.Sum64()
+	x := uint64(14695981039346656037) // FNV-1a offset basis
+	for i := 0; i < len(s); i++ {
+		x ^= uint64(s[i])
+		x *= 1099511628211 // FNV-1a prime
+	}
 	x ^= x >> 33
 	x *= 0xff51afd7ed558ccd
 	x ^= x >> 33
@@ -96,12 +101,29 @@ func (r *Ring) Len() int { return len(r.members) }
 func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
 
 // Owner returns the member index owning key, or -1 on an empty ring.
+// Every cache lookup the fleet client makes routes through here, so it
+// is a hand-written binary search rather than Owners(key, 1): no owner
+// slice, no seen bitmap, no sort.Search closure.
+//
+//daelint:hotpath
 func (r *Ring) Owner(key string) int {
-	owners := r.Owners(key, 1)
-	if len(owners) == 0 {
+	if len(r.points) == 0 {
 		return -1
 	}
-	return owners[0]
+	h := ringHash(key)
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.points[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(r.points) {
+		lo = 0 // wrap: key hashes past the last point
+	}
+	return r.points[lo].member
 }
 
 // Owners returns up to n distinct member indices in ring order starting

@@ -36,6 +36,7 @@ type evBucket struct {
 	fills []int32
 }
 
+//daelint:hotpath
 func (b *evBucket) empty() bool { return len(b.comps) == 0 && len(b.fills) == 0 }
 
 // farEvent is an event beyond the wheel horizon.
@@ -50,10 +51,14 @@ type farEvent struct {
 // semantically irrelevant (see the determinism note in sim.go).
 type farHeap struct{ a []farEvent }
 
+//daelint:hotpath
 func (h *farHeap) empty() bool { return len(h.a) == 0 }
 func (h *farHeap) reset()      { h.a = h.a[:0] }
-func (h *farHeap) min() int64  { return h.a[0].time }
 
+//daelint:hotpath
+func (h *farHeap) min() int64 { return h.a[0].time }
+
+//daelint:hotpath
 func (h *farHeap) push(v farEvent) {
 	h.a = append(h.a, v)
 	i := len(h.a) - 1
@@ -67,6 +72,7 @@ func (h *farHeap) push(v farEvent) {
 	}
 }
 
+//daelint:hotpath
 func (h *farHeap) pop() farEvent {
 	top := h.a[0]
 	last := len(h.a) - 1
@@ -130,6 +136,8 @@ func (q *calQueue) reset(horizon int64) {
 }
 
 // put inserts op i into the in-horizon bucket at time t.
+//
+//daelint:hotpath
 func (q *calQueue) put(t int64, i int32, fill bool) {
 	slot := t & q.mask
 	b := &q.slots[slot]
@@ -145,6 +153,8 @@ func (q *calQueue) put(t int64, i int32, fill bool) {
 }
 
 // schedule inserts op i at time t (> now); fill selects the fill list.
+//
+//daelint:hotpath
 func (q *calQueue) schedule(now, t int64, i int32, fill bool) {
 	if t-now < int64(len(q.slots)) {
 		q.put(t, i, fill)
@@ -155,6 +165,8 @@ func (q *calQueue) schedule(now, t int64, i int32, fill bool) {
 
 // drain migrates far events that have come within the horizon of `now`
 // into the wheel. Call once per simulated cycle, before fire.
+//
+//daelint:hotpath
 func (q *calQueue) drain(now int64) {
 	horizon := now + int64(len(q.slots))
 	for !q.far.empty() && q.far.min() < horizon {
@@ -165,6 +177,8 @@ func (q *calQueue) drain(now int64) {
 
 // fire returns the bucket due at `now`, or nil if none. The caller must
 // process and then release it with clearBucket.
+//
+//daelint:hotpath
 func (q *calQueue) fire(now int64) *evBucket {
 	b := &q.slots[now&q.mask]
 	if b.time == now && !b.empty() {
@@ -174,6 +188,8 @@ func (q *calQueue) fire(now int64) *evBucket {
 }
 
 // clearBucket empties a fired bucket and clears its nonempty bit.
+//
+//daelint:hotpath
 func (q *calQueue) clearBucket(b *evBucket) {
 	b.comps = b.comps[:0]
 	b.fills = b.fills[:0]
@@ -187,6 +203,8 @@ func (q *calQueue) clearBucket(b *evBucket) {
 // slots in ring order starting just after `now`; because every wheel time
 // lies in (now, now+len), ring distance equals time distance and the
 // first set bit is the earliest event.
+//
+//daelint:hotpath
 func (q *calQueue) nextAfter(now int64) int64 {
 	words := len(q.bits)
 	start := int((now + 1) & q.mask)

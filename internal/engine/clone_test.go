@@ -5,17 +5,44 @@ import (
 	"testing"
 )
 
-// TestCloneCoversAllResultFields pins the field counts of Result and
-// CoreStats. If this fails you added (or removed) a field: extend
-// Result.Clone to deep-copy any new reference-typed field first, then
-// update the counts. A shallow-aliased slice would silently break the
-// defensive-copy contract of the result caches (sweep.Runner/Store).
+// TestCloneCoversAllResultFields pins the field lists of Result and
+// CoreStats by name (daelint's schemaguard proves the deep-copy
+// coverage statically; this is the runtime backstop). If this fails you
+// added, removed or renamed a field: extend Result.Clone to deep-copy
+// any new reference-typed field first, then update the list here. A
+// shallow-aliased slice would silently break the defensive-copy
+// contract of the result caches (sweep.Runner/Store).
 func TestCloneCoversAllResultFields(t *testing.T) {
-	if n := reflect.TypeOf(Result{}).NumField(); n != 10 {
-		t.Fatalf("Result has %d fields, Clone deep-copies for 10: audit Clone first", n)
+	auditField(t, reflect.TypeOf(Result{}), []string{
+		"Cycles", "Ops", "TraceLen", "Cores",
+		"MaxESW", "AvgESW", "MaxSlip", "AvgSlip",
+		"Fills", "MaxFillsInFlight",
+	})
+	auditField(t, reflect.TypeOf(CoreStats{}), []string{
+		"Issued", "IssuedByKind", "BusyCycles", "IssueHist",
+		"OccIntegral", "MaxOcc",
+	})
+}
+
+// auditField fails naming the exact fields that drifted from the
+// audited list.
+func auditField(t *testing.T, typ reflect.Type, known []string) {
+	t.Helper()
+	have := map[string]bool{}
+	for i := 0; i < typ.NumField(); i++ {
+		have[typ.Field(i).Name] = true
 	}
-	if n := reflect.TypeOf(CoreStats{}).NumField(); n != 6 {
-		t.Fatalf("CoreStats has %d fields, Clone deep-copies for 6: audit Clone first", n)
+	audited := map[string]bool{}
+	for _, n := range known {
+		audited[n] = true
+		if !have[n] {
+			t.Errorf("%s.%s was audited but is no longer declared: update the audit list", typ.Name(), n)
+		}
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		if n := typ.Field(i).Name; !audited[n] {
+			t.Errorf("%s.%s is not in the audited field list: audit Clone for it, then add it here", typ.Name(), n)
+		}
 	}
 }
 

@@ -232,17 +232,25 @@ func MustProgram(name string, ops []Op, numUnits, traceLen int) *Program {
 func (p *Program) Len() int { return len(p.Ops) }
 
 // Stream returns the op indices executed by the given unit, program order.
+//
+//daelint:hotpath
 func (p *Program) Stream(u isa.Unit) []int32 {
 	return p.streamDat[p.streamOff[u]:p.streamOff[u+1]]
 }
 
 // srcs returns op i's true-dependence producers.
+//
+//daelint:hotpath
 func (p *Program) srcs(i int32) []int32 { return p.srcDat[p.srcOff[i]:p.srcOff[i+1]] }
 
 // plainConsumers returns the ops woken by op i's completion.
+//
+//daelint:hotpath
 func (p *Program) plainConsumers(i int32) []int32 { return p.cpDat[p.cpOff[i]:p.cpOff[i+1]] }
 
 // fillConsumers returns the ops woken by send op i's fill arrival.
+//
+//daelint:hotpath
 func (p *Program) fillConsumers(i int32) []int32 { return p.cfDat[p.cfOff[i]:p.cfOff[i+1]] }
 
 // KindCounts returns the number of ops of each kind.

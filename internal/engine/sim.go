@@ -58,12 +58,17 @@ type coreRun struct {
 	lastTouch     int64
 }
 
+// touch accrues window occupancy up to cycle (ESW integral).
+//
+//daelint:hotpath
 func (c *coreRun) touch(cycle int64) {
 	c.stats.OccIntegral += int64(c.occ) * (cycle - c.lastTouch)
 	c.lastTouch = cycle
 }
 
 // enqueue marks the op at stream position pos ready for issue.
+//
+//daelint:hotpath
 func (c *coreRun) enqueue(i int32, pos int32) {
 	if c.wide {
 		c.readyList = append(c.readyList, i)
@@ -74,6 +79,8 @@ func (c *coreRun) enqueue(i int32, pos int32) {
 }
 
 // readyEmpty reports whether no op is ready to issue.
+//
+//daelint:hotpath
 func (c *coreRun) readyEmpty() bool {
 	if c.wide {
 		return len(c.readyList) == 0
@@ -160,6 +167,8 @@ func (s *Sim) reset(p *Program, cfg Config) {
 }
 
 // wake delivers one dependence edge to op i.
+//
+//daelint:hotpath
 func (s *Sim) wake(p *Program, i int32) {
 	s.pending[i]--
 	if s.pending[i] == 0 && s.state[i] == stInWindow {
@@ -179,21 +188,27 @@ func (s *Sim) wake(p *Program, i int32) {
 // the heaps order issue by op index alone. Wide cores (issue width never
 // binding) drain an unordered ready list instead — every ready op issues
 // that cycle, so order is again irrelevant.
+//
+//daelint:hotpath
 func (s *Sim) Run(p *Program, cfg Config) (*Result, error) {
-	if err := cfg.Validate(p); err != nil {
+	if err := cfg.Validate(p); err != nil { //daelint:hotpath-ok one validation pass before the cycle loop starts
 		return nil, err
 	}
 	n := len(p.Ops)
+	// The returned Result and its Cores slice are 2 of the run's pinned
+	// allocations (TestSimReuseAllocs): caller-owned, so they cannot live
+	// in scratch.
+	//daelint:hotpath-ok caller-owned Result and Cores slice, allocated once per run
 	res := &Result{Ops: n, TraceLen: p.TraceLen, Cores: make([]CoreStats, p.NumUnits)}
 	if n == 0 {
 		return res, nil
 	}
 	if cfg.Mem != nil {
-		cfg.Mem.Reset()
+		cfg.Mem.Reset() //daelint:hotpath-ok once per run; MemModel is an external interface, not auditable
 	}
 	md := int64(cfg.Timing.MD)
 	memOrdered := cfg.Mem != nil
-	s.reset(p, cfg)
+	s.reset(p, cfg) //daelint:hotpath-ok setup: scratch (re)allocation happens once, before the cycle loop
 	cores := s.cores
 
 	completed := 0
@@ -334,8 +349,9 @@ func (s *Sim) Run(p *Program, cfg Config) (*Result, error) {
 				if flag&opFlagSend != 0 {
 					arrive := done + md
 					if cfg.Mem != nil {
-						arrive = cfg.Mem.RequestFill(p.addrs[i], done)
+						arrive = cfg.Mem.RequestFill(p.addrs[i], done) //daelint:hotpath-ok MemModel is an external interface; custom models opt out of the alloc pin
 						if arrive < done {
+							//daelint:hotpath-ok cold exit: a broken memory model aborts the run
 							return nil, fmt.Errorf("engine: memory model returned arrival %d before send %d", arrive, done)
 						}
 					}
@@ -354,7 +370,7 @@ func (s *Sim) Run(p *Program, cfg Config) (*Result, error) {
 				}
 				s.cq.schedule(cycle, done, i, false)
 				if flag&opFlagConsume != 0 && cfg.Mem != nil {
-					cfg.Mem.Consume(p.addrs[i], cycle)
+					cfg.Mem.Consume(p.addrs[i], cycle) //daelint:hotpath-ok MemModel is an external interface; custom models opt out of the alloc pin
 				}
 			}
 			if c.wide {
@@ -426,6 +442,7 @@ func (s *Sim) Run(p *Program, cfg Config) (*Result, error) {
 		// Jump to the next event; one must exist or the program deadlocked.
 		next := s.cq.nextAfter(cycle)
 		if next < 0 {
+			//daelint:hotpath-ok cold exit: deadlock aborts the run
 			return nil, fmt.Errorf("engine: deadlock at cycle %d with %d/%d ops complete", cycle, completed, n)
 		}
 		cycle = next

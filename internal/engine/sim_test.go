@@ -9,6 +9,15 @@ import (
 	"daesim/internal/isa"
 )
 
+// resultsEqual is the oracle comparison every differential test funnels
+// through. It must stay structural over whole Results (daelint's
+// schemaguard audits it for reflect.DeepEqual): a field added to Result
+// or CoreStats is then compared by construction, with no field list to
+// forget to extend.
+func resultsEqual(got, want *Result) bool {
+	return reflect.DeepEqual(got, want)
+}
+
 // randomConfig draws a core configuration like the quick-check property
 // tests use, plus occasional engine-mode flags, so the differential test
 // covers every code path of the event loop.
@@ -62,7 +71,7 @@ func TestCalendarQueueMatchesReference(t *testing.T) {
 		if gotErr != nil {
 			return true
 		}
-		if !reflect.DeepEqual(got, want) {
+		if !resultsEqual(got, want) {
 			t.Logf("seed=%d: result mismatch:\n calendar: %+v\n reference: %+v", seed, got, want)
 			return false
 		}
@@ -89,7 +98,7 @@ func TestFarEventOverflow(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(got, want) {
+		if !resultsEqual(got, want) {
 			t.Fatalf("md=%d: mismatch:\n calendar: %+v\n reference: %+v", cfg.Timing.MD, got, want)
 		}
 	}
@@ -127,7 +136,7 @@ func TestWidePathMatchesReference(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !reflect.DeepEqual(got, want) {
+			if !resultsEqual(got, want) {
 				t.Errorf("%s cfg %d: mismatch:\n engine:    %+v\n reference: %+v", p.Name, ci, got, want)
 			}
 		}
@@ -153,7 +162,7 @@ func TestSimRunsAreIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(fresh, warm) {
+	if !resultsEqual(fresh, warm) {
 		t.Fatalf("warm scratch changed the result:\n fresh: %+v\n warm: %+v", fresh, warm)
 	}
 }

@@ -148,7 +148,7 @@ func (c *Context) par() int {
 	if c.Parallelism > 0 {
 		return c.Parallelism
 	}
-	return runtime.GOMAXPROCS(0)
+	return runtime.GOMAXPROCS(0) //daelint:nondeterministic-ok worker-pool width only; every result lands in a shard indexed by input, not by completion order
 }
 
 // CacheStats aggregates cache traffic across every runner the context
@@ -158,8 +158,8 @@ func (c *Context) CacheStats() sweep.CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var total sweep.CacheStats
-	for _, e := range c.runners {
-		select {
+	for _, e := range c.runners { //daelint:nondeterministic-ok commutative sum of cache counters for the run summary; not a figure value
+		select { //daelint:nondeterministic-ok advisory snapshot: a runner still building contributes no traffic yet
 		case <-e.ready:
 			if e.r != nil {
 				total.Add(e.r.Stats())

@@ -376,7 +376,7 @@ func TestESWExceedsSummedWindows(t *testing.T) {
 		}
 		byKey[k][row.MD] = row.MaxESW
 	}
-	for k, m := range byKey {
+	for k, m := range byKey { //daelint:nondeterministic-ok order-free per-key assertions; failures print their own key
 		if float64(m[60]) < 0.85*float64(m[30]) {
 			t.Errorf("%v: max ESW shrank with latency: md30=%d md60=%d", k, m[30], m[60])
 		}
@@ -499,7 +499,7 @@ func TestAblations(t *testing.T) {
 			chosen[p.Workload] = p.Cycles
 		}
 	}
-	for name, c := range chosen {
+	for name, c := range chosen { //daelint:nondeterministic-ok order-free per-workload assertions; failures print their own name
 		if float64(c) > 1.5*float64(best[name]) {
 			t.Errorf("A1 %s: 4/5 split %d not competitive with best %d", name, c, best[name])
 		}

@@ -63,7 +63,7 @@ func TestPolicyStudy(t *testing.T) {
 			t.Errorf("%s/%s: implausible cycles %d/%d", r.Name, r.Policy, r.Cycles0, r.Cycles60)
 		}
 	}
-	for name, rows := range byName {
+	for name, rows := range byName { //daelint:nondeterministic-ok order-free per-workload assertions; failures print their own name
 		lo, hi := rows[0].Cycles60, rows[0].Cycles60
 		for _, r := range rows {
 			if r.Cycles60 < lo {
@@ -158,7 +158,7 @@ func TestCacheStudy(t *testing.T) {
 		}
 	}
 	// The DM stays ahead of the SWSM under the hierarchy too.
-	for name, rows := range byName {
+	for name, rows := range byName { //daelint:nondeterministic-ok order-free per-workload assertions; failures print their own name
 		if rows[machine.DM].Cached >= rows[machine.SWSM].Cached {
 			t.Errorf("%s: DM (%d) should beat SWSM (%d) under the hierarchy",
 				name, rows[machine.DM].Cached, rows[machine.SWSM].Cached)

@@ -13,7 +13,7 @@ func TestClassString(t *testing.T) {
 		Store:     "store",
 		Class(99): "class(99)",
 	}
-	for c, want := range cases {
+	for c, want := range cases { //daelint:nondeterministic-ok order-free table-driven assertions
 		if got := c.String(); got != want {
 			t.Errorf("Class(%d).String() = %q, want %q", c, got, want)
 		}

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDeterminismFixture(t *testing.T) {
+	w := loadFixture(t, filepath.Join("testdata", "src"), "det")
+	runFixture(t, w, []*Analyzer{NewDeterminism(DeterminismConfig{Paths: []string{"det"}})})
+}
+
+func TestHotpathFixture(t *testing.T) {
+	w := loadFixture(t, filepath.Join("testdata", "src"), "hot")
+	runFixture(t, w, []*Analyzer{NewHotpath()})
+}
+
+// fixtureSchemaConfig mirrors DefaultSchemaConfig over the fixture tree.
+var fixtureSchemaConfig = SchemaConfig{
+	ParamsPkg: "schema/machine", ParamsType: "Params", CacheKeyFunc: "CacheKey",
+	WirePkg: "schema/wire", WireType: "Params", WireTo: "ToParams", WireFrom: "Machine",
+	ResultPkg:   "schema/result",
+	ResultTypes: []string{"Result", "CoreStats"},
+	CloneFunc:   "Clone",
+	OracleFunc:  "resultsEqual",
+	OpPkg:       "schema/machine", OpType: "Op",
+	FingerprintPkg: "schema/machine", FingerprintFunc: "Fingerprint",
+}
+
+func TestSchemaGuardFixture(t *testing.T) {
+	w := loadFixture(t, filepath.Join("testdata", "src"), "schema/machine", "schema/wire", "schema/result")
+	runFixture(t, w, []*Analyzer{NewSchemaGuard(fixtureSchemaConfig)})
+}
+
+func TestMalformedDirectives(t *testing.T) {
+	w := loadFixture(t, filepath.Join("testdata", "src"), "badly")
+	mal := w.Pkg("badly").Directives.Malformed
+	if len(mal) != 2 {
+		t.Fatalf("got %d malformed directives, want 2: %v", len(mal), mal)
+	}
+	if !strings.Contains(mal[0].Message, "unknown directive //daelint:nondeterministc-ok") {
+		t.Errorf("first malformed = %q, want unknown-directive complaint", mal[0].Message)
+	}
+	if !strings.Contains(mal[1].Message, "//daelint:hotpath-ok needs a reason") {
+		t.Errorf("second malformed = %q, want missing-reason complaint", mal[1].Message)
+	}
+	// Malformed directives surface as findings of the "directive" analyzer.
+	diags := RunAnalyzers(w, nil)
+	if len(diags) != 2 {
+		t.Fatalf("RunAnalyzers returned %d findings, want the 2 malformed directives: %v", len(diags), diags)
+	}
+}
+
+// fixtureVersionKeyConfig mirrors DefaultVersionKeyConfig over the
+// fixture tree rooted at a (possibly temp-copied) directory.
+var fixtureVersionKeyConfig = VersionKeyConfig{
+	EnginePkg:         "version/engine",
+	VersionConst:      "Version",
+	VersionPattern:    `^engine-v\d+$`,
+	Roots:             []string{"(Sim).Run"},
+	Structs:           [][2]string{{"version/engine", "Config"}},
+	ConstPkgs:         []string{"version/engine"},
+	LockFile:          "semantics.lock",
+	RequireVersionUse: []string{"version/store"},
+}
+
+func TestVersionKeyLifecycle(t *testing.T) {
+	tmp := t.TempDir()
+	copyFixtureTree(t, filepath.Join("testdata", "src", "version"), filepath.Join(tmp, "version"))
+	cfg := fixtureVersionKeyConfig
+
+	run := func() []Diagnostic {
+		w := loadFixture(t, tmp, "version/engine", "version/store")
+		return RunAnalyzers(w, []*Analyzer{NewVersionKey(cfg)})
+	}
+	wantOne := func(stage, substr string) {
+		t.Helper()
+		diags := run()
+		if len(diags) != 1 || !strings.Contains(diags[0].Message, substr) {
+			t.Fatalf("%s: got %v, want one finding containing %q", stage, diags, substr)
+		}
+	}
+	wantClean := func(stage string) {
+		t.Helper()
+		if diags := run(); len(diags) != 0 {
+			t.Fatalf("%s: got %v, want no findings", stage, diags)
+		}
+	}
+	edit := func(old, new string) {
+		t.Helper()
+		path := filepath.Join(tmp, "version", "engine", "engine.go")
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(src), old) {
+			t.Fatalf("edit: %q not found in fixture", old)
+		}
+		if err := os.WriteFile(path, []byte(strings.Replace(string(src), old, new, 1)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeLock := func() {
+		t.Helper()
+		w := loadFixture(t, tmp, "version/engine", "version/store")
+		if _, err := WriteSemanticsLock(w, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// No lock yet: the analyzer demands one.
+	wantOne("missing lock", "semantics lock semantics.lock missing")
+
+	// Generating the lock pins the surface.
+	writeLock()
+	wantClean("fresh lock")
+
+	// A package that must fold the version into its keys but doesn't.
+	cfg.RequireVersionUse = []string{"version/engine"}
+	wantOne("version use", "package version/engine never references engine.Version")
+	cfg.RequireVersionUse = fixtureVersionKeyConfig.RequireVersionUse
+
+	// A version string off the canonical shape.
+	cfg.VersionPattern = `^sim-v\d+$`
+	wantOne("version pattern", "does not match")
+	cfg.VersionPattern = fixtureVersionKeyConfig.VersionPattern
+
+	// Editing a reachable function's body trips the ratchet even though
+	// its signature is unchanged.
+	edit("return w + 1", "return w + 2")
+	wantOne("body edit", `func version/engine.(Sim).step (changed)`)
+
+	// Regenerating the lock (the reviewable way to accept the change)
+	// settles it again.
+	writeLock()
+	wantClean("regenerated lock")
+
+	// Bumping the version without regenerating the lock is also a finding.
+	edit(`Version = "engine-v1"`, `Version = "engine-v2"`)
+	wantOne("version bump", `records "engine-v1"`)
+}
+
+// TestRepoIsClean is the self-hosting gate: the four production
+// analyzers over the whole module must report nothing, in both the
+// plain and the -tests configuration.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	w, err := Load("../..", []string{"./..."}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers := []*Analyzer{
+		NewDeterminism(DeterminismConfig{Paths: DefaultDeterminismPaths}),
+		NewSchemaGuard(DefaultSchemaConfig),
+		NewHotpath(),
+		NewVersionKey(DefaultVersionKeyConfig),
+	}
+	for _, includeTests := range []bool{false, true} {
+		w.IncludeTests = includeTests
+		for _, d := range RunAnalyzers(w, analyzers) {
+			t.Errorf("IncludeTests=%v: %s", includeTests, d)
+		}
+	}
+}

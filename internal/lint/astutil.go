@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// walkStack traverses root calling fn with each node and the stack of
+// its ancestors (innermost last, root excluded). Returning false prunes
+// the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// calleeFunc resolves a call expression to its static callee, or nil for
+// builtins, conversions, function-typed variables and method values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		}
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// funcKey names a function object portably across type-checking
+// universes: "path.Name" for functions, "path.(Recv).Name" for methods.
+func funcKey(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	path := ""
+	if fn.Pkg() != nil {
+		path = fn.Pkg().Path()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		name := recv.String()
+		if named, ok := recv.(*types.Named); ok {
+			name = named.Obj().Name()
+		}
+		return path + ".(" + name + ")." + fn.Name()
+	}
+	return path + "." + fn.Name()
+}
+
+// declKey names a declared function the same way funcKey names its
+// object, so directive indexes can be consulted across packages.
+func declKey(pkgPath string, decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return pkgPath + "." + decl.Name.Name
+	}
+	t := decl.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return pkgPath + ".(" + id.Name + ")." + decl.Name.Name
+	}
+	return pkgPath + "." + decl.Name.Name
+}
+
+// rootObject follows an expression leftward to the object of its root
+// identifier: a.b[i].c roots at a. Returns nil when the root is not a
+// simple identifier (call results, literals).
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isMapType reports whether t's core type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// hasPathPrefix reports whether path is pkg or a subpackage/test
+// extension of one of the prefixes.
+func hasPathPrefix(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") || path == p+"_test" {
+			return true
+		}
+	}
+	return false
+}
+
+// isInterface reports whether t is an interface type (including any).
+func isInterface(t types.Type) bool {
+	return t != nil && types.IsInterface(t)
+}
+
+// namedStruct resolves the named type's underlying struct in pkg, or nil.
+func namedStruct(pkg *Package, name string) (*types.Named, *types.Struct) {
+	if pkg == nil {
+		return nil, nil
+	}
+	obj := pkg.Types.Scope().Lookup(name)
+	if obj == nil {
+		return nil, nil
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	return named, st
+}
+
+// funcDecls indexes a package's function declarations by funcKey.
+func funcDecls(pkg *Package) map[string]*ast.FuncDecl {
+	out := map[string]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				out[declKey(pkg.Path, fd)] = fd
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package lint
+
+// Fixture harness in the spirit of golang.org/x/tools' analysistest,
+// rebuilt on the dependency-free loader: fixture packages live under
+// testdata/src/<path> (invisible to `go list ./...`), import each other
+// by that relative path, and pull stdlib dependencies from the build
+// cache's export data. Expectations are written in the source as
+//
+//	code // want `regexp` `another regexp`
+//
+// every diagnostic on that line must match one expectation and every
+// expectation must be matched by one diagnostic.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// stdExportDeps are the stdlib roots fixture packages may import; their
+// transitive closure is resolved from build-cache export data.
+var stdExportDeps = []string{"fmt", "time", "runtime", "math/rand", "sync", "reflect", "strconv", "errors"}
+
+var (
+	stdExportsOnce sync.Once
+	stdExports     map[string]string
+	stdExportsErr  error
+)
+
+func stdExportData(t *testing.T) map[string]string {
+	t.Helper()
+	stdExportsOnce.Do(func() {
+		args := append([]string{"list", "-e", "-json=ImportPath,Export", "-deps", "-export"}, stdExportDeps...)
+		out, err := exec.Command("go", args...).Output()
+		if err != nil {
+			stdExportsErr = fmt.Errorf("go list std deps: %v", err)
+			return
+		}
+		stdExports = map[string]string{}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				stdExportsErr = err
+				return
+			}
+			if p.Export != "" {
+				stdExports[p.ImportPath] = p.Export
+			}
+		}
+	})
+	if stdExportsErr != nil {
+		t.Fatal(stdExportsErr)
+	}
+	return stdExports
+}
+
+// fixtureImporter loads fixture packages from source on demand and
+// everything else from export data.
+type fixtureImporter struct {
+	w        *World
+	root     string
+	fallback types.Importer
+	loading  map[string]bool
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(fi.root, filepath.FromSlash(path)); dirExists(dir) {
+		pkg, err := fi.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return fi.fallback.Import(path)
+}
+
+func (fi *fixtureImporter) load(path string) (*Package, error) {
+	if pkg, ok := fi.w.Pkgs[path]; ok {
+		return pkg, nil
+	}
+	if fi.loading[path] {
+		return nil, fmt.Errorf("fixture import cycle through %s", path)
+	}
+	fi.loading[path] = true
+	defer delete(fi.loading, path)
+
+	dir := filepath.Join(fi.root, filepath.FromSlash(path))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	pkg, err := checkPackage(fi.w.Fset, fi, path, dir, files, len(files))
+	if err != nil {
+		return nil, err
+	}
+	fi.w.Pkgs[path] = pkg
+	fi.w.Paths = append(fi.w.Paths, path)
+	return pkg, nil
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+// loadFixture builds a World over testdata-style fixture packages rooted
+// at root.
+func loadFixture(t *testing.T, root string, paths ...string) *World {
+	t.Helper()
+	exports := stdExportData(t)
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no fixture export data for %q (add its root to stdExportDeps)", path)
+		}
+		return os.Open(f)
+	}
+	w := &World{Fset: fset, Pkgs: map[string]*Package{}, Module: "fixture", Tests: true, IncludeTests: true}
+	fi := &fixtureImporter{w: w, root: root, fallback: importer.ForCompiler(fset, "gc", lookup), loading: map[string]bool{}}
+	for _, p := range paths {
+		if _, err := fi.load(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+var wantArgRe = regexp.MustCompile("`([^`]*)`")
+
+type wantExp struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// runFixture executes the analyzers over the world and diffs the
+// diagnostics against the // want expectations in the fixture sources.
+func runFixture(t *testing.T, w *World, analyzers []*Analyzer) {
+	t.Helper()
+	wants := map[string][]*wantExp{} // "file:line" -> expectations
+	for _, path := range w.Paths {
+		pkg := w.Pkgs[path]
+		for name, src := range pkg.Src {
+			for i, line := range strings.Split(string(src), "\n") {
+				_, tail, ok := strings.Cut(line, "// want ")
+				if !ok {
+					continue
+				}
+				key := fmt.Sprintf("%s:%d", name, i+1)
+				for _, m := range wantArgRe.FindAllStringSubmatch(tail, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, m[1], err)
+					}
+					wants[key] = append(wants[key], &wantExp{re: re, raw: m[1]})
+				}
+			}
+		}
+	}
+
+	for _, d := range RunAnalyzers(w, analyzers) {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, exp := range wants[key] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, exp := range wants[k] {
+			if !exp.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, exp.raw)
+			}
+		}
+	}
+}
+
+// copyFixtureTree duplicates a fixture subtree into a temp dir so tests
+// can mutate sources and write lock files without dirtying testdata.
+func copyFixtureTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

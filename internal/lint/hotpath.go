@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewHotpath builds the hotpath analyzer: for every function annotated
+// //daelint:hotpath it reports the constructs that allocate or box on the
+// hot loop — composite literals that can escape, make/new, closures, map
+// operations, implicit conversions to interface types, string
+// concatenation — plus calls to unannotated same-package functions, so
+// the audited set is closed under the call graph. Together with the
+// suppressions this turns the engine's "7 allocs/run" benchmark pin into
+// a structural property: every allocation site in the hot path is
+// enumerated and justified with //daelint:hotpath-ok <reason>, and a new
+// unannotated site fails the build gate rather than a benchmark diff.
+func NewHotpath() *Analyzer {
+	return &Analyzer{
+		Name: "hotpath",
+		Doc:  "audits //daelint:hotpath functions for allocation, boxing and map traffic",
+		Run: func(w *World, report func(pos token.Pos, format string, args ...any)) {
+			for _, path := range w.Paths {
+				pkg := w.Pkgs[path]
+				if !w.analyzePkg(pkg) {
+					continue
+				}
+				hot := map[string]bool{}
+				var hotFns []*ast.FuncDecl
+				for i, f := range pkg.Files {
+					if !w.analyzeFile(pkg, i) {
+						continue
+					}
+					for _, d := range f.Decls {
+						fd, ok := d.(*ast.FuncDecl)
+						if !ok {
+							continue
+						}
+						if _, ok := funcDirective(fd, "hotpath"); ok {
+							hot[declKey(pkg.Path, fd)] = true
+							hotFns = append(hotFns, fd)
+						}
+					}
+				}
+				for _, fd := range hotFns {
+					checkHotFunc(pkg, fd, hot, report)
+				}
+			}
+		},
+	}
+}
+
+func checkHotFunc(pkg *Package, fd *ast.FuncDecl, hot map[string]bool, report func(pos token.Pos, format string, args ...any)) {
+	if fd.Body == nil {
+		return
+	}
+	info := pkg.Info
+	resultIfaces := funcResultInterfaces(info, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n.Pos(), "closure in hot path: the func value and its captures can allocate; hoist it, or annotate //daelint:hotpath-ok <reason>")
+			return false // the closure body runs on its own budget
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "&composite literal in hot path escapes to the heap; reuse scratch storage, or annotate //daelint:hotpath-ok <reason>")
+				}
+			}
+		case *ast.CompositeLit:
+			if t := info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					report(n.Pos(), "%s literal in hot path allocates its backing store; reuse scratch storage, or annotate //daelint:hotpath-ok <reason>", kindName(t))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if _, ok := ast.Unparen(r).(*ast.CompositeLit); ok {
+					report(r.Pos(), "returning a composite literal from a hot path escapes it to the heap; fill caller-owned storage, or annotate //daelint:hotpath-ok <reason>")
+				}
+			}
+			for i, r := range n.Results {
+				if i < len(resultIfaces) && resultIfaces[i] && boxes(info, r) {
+					report(r.Pos(), "returning a concrete value as interface boxes it on the heap; annotate //daelint:hotpath-ok <reason> if this is a cold exit")
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pkg, n, hot, report)
+		case *ast.RangeStmt:
+			if isMapType(info.TypeOf(n.X)) {
+				report(n.Range, "map iteration in hot path: hashing and bucket walks on the hot loop; use slice-indexed state, or annotate //daelint:hotpath-ok <reason>")
+			}
+		case *ast.IndexExpr:
+			if isMapType(info.TypeOf(n.X)) {
+				report(n.Pos(), "map access in hot path hashes per operation; use slice-indexed state, or annotate //daelint:hotpath-ok <reason>")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := info.TypeOf(n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(n.Pos(), "string concatenation in hot path allocates; annotate //daelint:hotpath-ok <reason> if this is a cold exit")
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			report(n.Pos(), "defer in hot path adds per-call bookkeeping; restructure, or annotate //daelint:hotpath-ok <reason>")
+		case *ast.GoStmt:
+			report(n.Pos(), "goroutine launch in hot path allocates a stack; move concurrency to the caller, or annotate //daelint:hotpath-ok <reason>")
+		}
+		return true
+	})
+}
+
+// checkHotCall audits one call in a hot function: make/new, implicit
+// interface boxing of arguments, and same-package callees missing their
+// own //daelint:hotpath annotation.
+func checkHotCall(pkg *Package, call *ast.CallExpr, hot map[string]bool, report func(pos token.Pos, format string, args ...any)) {
+	info := pkg.Info
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && info.Types[id].IsBuiltin() {
+		switch id.Name {
+		case "make":
+			report(call.Pos(), "make in hot path allocates; size scratch in reset/setup and reuse it, or annotate //daelint:hotpath-ok <reason>")
+		case "new":
+			report(call.Pos(), "new in hot path allocates; reuse scratch storage, or annotate //daelint:hotpath-ok <reason>")
+		case "delete":
+			report(call.Pos(), "map delete in hot path hashes per operation; use slice-indexed state, or annotate //daelint:hotpath-ok <reason>")
+		}
+		return
+	}
+	if tv, ok := info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+		// Conversion: flag the allocating ones.
+		to := tv.Type
+		if len(call.Args) == 1 {
+			from := info.TypeOf(call.Args[0])
+			if isInterface(to) && !isInterface(from) && from != nil {
+				report(call.Pos(), "conversion to interface boxes the value on the heap; annotate //daelint:hotpath-ok <reason> if this is a cold exit")
+			}
+			if isStringByteConv(to, from) {
+				report(call.Pos(), "string/[]byte conversion in hot path copies and allocates; annotate //daelint:hotpath-ok <reason> if this is a cold exit")
+			}
+		}
+		return
+	}
+	fn := calleeFunc(info, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkg.Path {
+		if !hot[funcKey(fn)] {
+			report(call.Pos(), "hot path calls %s, which is not annotated //daelint:hotpath; annotate it so its body is audited too, or annotate this call //daelint:hotpath-ok <reason>", fn.Name())
+		}
+	}
+	// Implicit boxing: concrete arguments passed to interface parameters.
+	sig, _ := info.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			if call.Ellipsis != token.NoPos {
+				continue // passing a slice through, no per-element boxing
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		} else if i < sig.Params().Len() {
+			param = sig.Params().At(i).Type()
+		}
+		if isInterface(param) && boxes(info, arg) {
+			report(arg.Pos(), "argument boxes a concrete value into an interface parameter (heap allocation); annotate //daelint:hotpath-ok <reason> if this is a cold exit")
+		}
+	}
+}
+
+// boxes reports whether passing e to an interface slot heap-boxes it: a
+// typed, non-interface, non-nil value.
+func boxes(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil || isInterface(t) {
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+func isStringByteConv(to, from types.Type) bool {
+	if from == nil {
+		return false
+	}
+	toStr := isStringType(to)
+	fromStr := isStringType(from)
+	toBytes := isByteSlice(to)
+	fromBytes := isByteSlice(from)
+	return (toStr && fromBytes) || (toBytes && fromStr)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	default:
+		return "composite"
+	}
+}
+
+// funcResultInterfaces records which results of fd are interface-typed.
+func funcResultInterfaces(info *types.Info, fd *ast.FuncDecl) []bool {
+	obj, _ := info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return nil
+	}
+	sig := obj.Type().(*types.Signature)
+	out := make([]bool, sig.Results().Len())
+	for i := range out {
+		out[i] = isInterface(sig.Results().At(i).Type())
+	}
+	return out
+}

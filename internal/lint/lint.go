@@ -1,0 +1,102 @@
+// Package lint implements daelint, the repo's static-analysis suite: a
+// dependency-free go/analysis-style framework (loader, directive grammar,
+// fixture runner) plus four analyzers that move the project's determinism,
+// schema-parity, hot-path and version-bump invariants from hand-pinned
+// tests into the build. DESIGN.md §12 documents each analyzer and the
+// invariant it encodes; cmd/daelint is the CLI driver CI runs.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding, positioned in the world's FileSet.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check over a loaded World. Run reports findings
+// through report; the driver owns suppression, so analyzers report every
+// raw finding and annotated ones are filtered (and their annotations
+// marked used) centrally.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(w *World, report func(pos token.Pos, format string, args ...any))
+}
+
+// RunAnalyzers executes the analyzers over the world and returns the
+// surviving findings sorted by position: suppressed findings are dropped,
+// malformed directives and suppressions that silenced nothing are
+// findings themselves (an annotation must both parse and earn its keep).
+func RunAnalyzers(w *World, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		a.Run(w, func(pos token.Pos, format string, args ...any) {
+			p := w.Fset.Position(pos)
+			if supps := suppressionsAt(w, p, a.Name); len(supps) > 0 {
+				for _, s := range supps {
+					s.Used = true
+				}
+				return
+			}
+			diags = append(diags, Diagnostic{Pos: p, Analyzer: a.Name, Message: fmt.Sprintf(format, args...)})
+		})
+	}
+	for _, path := range w.Paths {
+		pkg := w.Pkgs[path]
+		diags = append(diags, pkg.Directives.Malformed...)
+		for _, dir := range pkg.Directives.All {
+			if dir.Analyzer == "" || dir.Used || !ran[dir.Analyzer] {
+				continue
+			}
+			// A suppression in a file the per-file analyzers skipped (test
+			// files without -tests) had no chance to fire; only the -tests
+			// run can judge it unused.
+			if !w.analyzedFileNamed(pkg, dir.Pos.Filename) {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos: dir.Pos, Analyzer: "directive",
+				Message: fmt.Sprintf("unused //daelint:%s annotation: no %s finding on line %d to suppress", dir.Name, dir.Analyzer, dir.Line),
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// suppressionsAt finds the suppression directives governing pos for the
+// named analyzer, searching the package owning the file.
+func suppressionsAt(w *World, pos token.Position, analyzer string) []*Directive {
+	for _, path := range w.Paths {
+		pkg := w.Pkgs[path]
+		if _, ok := pkg.Src[pos.Filename]; !ok {
+			continue
+		}
+		return pkg.Directives.Suppressions(pos, analyzer)
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked target package: parsed syntax, type
+// information and the raw source of every file (analyzers consult the
+// source to decide whether a directive comment trails code on its line).
+type Package struct {
+	// Path is the import path ("daesim/internal/engine"). External test
+	// packages carry their real path with the "_test" suffix.
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Files holds the parsed non-test files, then — when the world was
+	// loaded with Tests — the in-package _test.go files. NumNonTest
+	// counts the leading non-test files.
+	Files      []*ast.File
+	NumNonTest int
+	// Types and Info are the go/types results for Files as one unit.
+	Types *types.Package
+	Info  *types.Info
+	// Src maps file names (as recorded in the FileSet) to their bytes.
+	Src map[string][]byte
+	// Directives indexes the //daelint: comments of every file.
+	Directives *Directives
+}
+
+// IsTestFile reports whether f was loaded as a _test.go file.
+func (p *Package) IsTestFile(f *ast.File) bool {
+	for i, g := range p.Files {
+		if g == f {
+			return i >= p.NumNonTest
+		}
+	}
+	return false
+}
+
+// World is the set of packages one daelint run analyzes, sharing a
+// FileSet so positions are comparable across packages.
+type World struct {
+	Fset *token.FileSet
+	// Pkgs maps import path to the loaded package, iterated via Paths.
+	Pkgs map[string]*Package
+	// Paths lists the package paths in load (deterministic) order.
+	Paths []string
+	// Module is the module path ("daesim"); empty for fixture worlds.
+	Module string
+	// Tests reports whether _test.go files were loaded.
+	Tests bool
+	// IncludeTests makes the per-file analyzers (determinism, hotpath)
+	// report findings in loaded _test.go files; schemaguard always uses
+	// them (the oracle comparison lives in one).
+	IncludeTests bool
+}
+
+// analyzeFile reports whether findings in f should be reported for pkg.
+func (w *World) analyzeFile(pkg *Package, f int) bool {
+	if w.IncludeTests {
+		return true
+	}
+	return f < pkg.NumNonTest
+}
+
+// analyzePkg reports whether an external-test package is in scope.
+func (w *World) analyzePkg(pkg *Package) bool {
+	return w.IncludeTests || !strings.HasSuffix(pkg.Path, "_test")
+}
+
+// analyzedFileNamed reports whether the named file of pkg was in scope
+// for the per-file analyzers this run.
+func (w *World) analyzedFileNamed(pkg *Package, filename string) bool {
+	if w.IncludeTests {
+		return true
+	}
+	if !w.analyzePkg(pkg) {
+		return false
+	}
+	for i, f := range pkg.Files {
+		if w.Fset.Position(f.Pos()).Filename == filename {
+			return w.analyzeFile(pkg, i)
+		}
+	}
+	return false
+}
+
+// Pkg returns the loaded package with the given import path, or nil.
+func (w *World) Pkg(path string) *Package {
+	return w.Pkgs[path]
+}
+
+// listedPkg is the subset of `go list -json` output the loader uses.
+type listedPkg struct {
+	ImportPath     string
+	Dir            string
+	Name           string
+	Export         string
+	DepOnly        bool
+	ForTest        string
+	GoFiles        []string
+	CgoFiles       []string
+	TestGoFiles    []string
+	XTestGoFiles   []string
+	Module         *struct{ Path string }
+	Error          *struct{ Err string }
+	IgnoredGoFiles []string
+}
+
+// Load type-checks the packages matching patterns (relative to dir, the
+// module root) and every import they need, using export data produced by
+// the go command — no network, no third-party deps. With tests set,
+// in-package _test.go files are type-checked together with their package
+// and external _test packages become their own entries.
+func Load(dir string, patterns []string, tests bool) (*World, error) {
+	args := []string{"list", "-e", "-json=ImportPath,Dir,Name,Export,DepOnly,ForTest,GoFiles,CgoFiles,TestGoFiles,XTestGoFiles,Module,Error", "-deps", "-export"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listedPkg
+	module := ""
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		// Test variants ("p [p.test]", "p.test") only contribute export
+		// data for their clean-path imports, which the -test listing
+		// already includes as ordinary entries.
+		if strings.ContainsAny(p.ImportPath, " [") || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		if p.Export != "" && exports[p.ImportPath] == "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && p.ForTest == "" && p.Name != "" {
+			targets = append(targets, p)
+			if module == "" && p.Module != nil {
+				module = p.Module.Path
+			}
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	w := &World{Fset: fset, Pkgs: map[string]*Package{}, Module: module, Tests: tests}
+	for _, t := range targets {
+		if len(t.CgoFiles) > 0 {
+			return nil, fmt.Errorf("lint: %s uses cgo, which the loader does not support", t.ImportPath)
+		}
+		files := append([]string(nil), t.GoFiles...)
+		numNonTest := len(files)
+		if tests {
+			files = append(files, t.TestGoFiles...)
+		}
+		pkg, err := checkPackage(fset, imp, t.ImportPath, t.Dir, files, numNonTest)
+		if err != nil {
+			return nil, err
+		}
+		w.Pkgs[t.ImportPath] = pkg
+		w.Paths = append(w.Paths, t.ImportPath)
+
+		if tests && len(t.XTestGoFiles) > 0 {
+			xpath := t.ImportPath + "_test"
+			xpkg, err := checkPackage(fset, imp, xpath, t.Dir, t.XTestGoFiles, 0)
+			if err != nil {
+				return nil, err
+			}
+			w.Pkgs[xpath] = xpkg
+			w.Paths = append(w.Paths, xpath)
+		}
+	}
+	return w, nil
+}
+
+// checkPackage parses and type-checks one package from source. The
+// importer resolves every import from export data, so only the target
+// package itself is type-checked syntactically.
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, fileNames []string, numNonTest int) (*Package, error) {
+	pkg := &Package{
+		Path:       path,
+		Dir:        dir,
+		NumNonTest: numNonTest,
+		Src:        map[string][]byte{},
+		Info:       newInfo(),
+	}
+	for _, name := range fileNames {
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		f, err := parser.ParseFile(fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Src[full] = src
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	pkg.Types = tpkg
+	var derr error
+	pkg.Directives, derr = parseDirectives(fset, pkg)
+	if derr != nil {
+		return nil, derr
+	}
+	return pkg, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

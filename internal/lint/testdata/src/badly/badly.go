@@ -1,0 +1,17 @@
+// Package badly holds directives that must be rejected as malformed:
+// an unknown name and a suppression with no justification. The test
+// asserts on the parsed Malformed list directly, because a missing
+// reason cannot share its line with a want comment (trailing text would
+// become the reason).
+package badly
+
+// Answer carries a typo'd directive name.
+func Answer() int {
+	return 42 //daelint:nondeterministc-ok typo in the directive name
+}
+
+// Reasonless carries a suppression with no reason.
+func Reasonless() int {
+	//daelint:hotpath-ok
+	return 7
+}

@@ -1,0 +1,156 @@
+// Package det exercises the determinism analyzer: each banned construct
+// sits next to its sanctioned replacement, and the suppression fixtures
+// prove an annotation silences exactly the line it governs.
+package det
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+// SumMap aggregates over a map in iteration order.
+func SumMap(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		out = append(out, v)
+	}
+	return out
+}
+
+// SumSorted is the sanctioned form: the caller supplies the key order.
+func SumSorted(m map[string]int, keys []string) []int {
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().Unix() // want `time.Now reads wall-clock time`
+}
+
+// StampPair proves a suppression absorbs only the line it governs: the
+// first read is annotated, the second still fires.
+func StampPair() (int64, int64) {
+	a := time.Now().Unix() //daelint:nondeterministic-ok fixture: sanctioned wall-clock read
+	b := time.Now().Unix() // want `time.Now reads wall-clock time`
+	return a, b
+}
+
+// Width reads host parallelism.
+func Width() int {
+	return runtime.GOMAXPROCS(0) // want `runtime.GOMAXPROCS reads host parallelism`
+}
+
+// Draw pulls from the auto-seeded global source.
+func Draw(n int) int {
+	return rand.Intn(n) // want `math/rand.Intn draws from the auto-seeded global source`
+}
+
+// SeededDraw is the sanctioned pattern: an explicit source seeded from
+// the inputs is a pure function of the seed.
+func SeededDraw(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// Constant carries an annotation with nothing to suppress, which is a
+// finding itself.
+func Constant() int {
+	return 42 //daelint:nondeterministic-ok fixture: suppresses nothing // want `unused //daelint:nondeterministic-ok annotation`
+}
+
+// First returns whichever channel delivers first.
+func First(a, b chan int) int {
+	select { // want `select arbitration is scheduling-dependent`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// Scatter places each goroutine's result at its shard's slot: clean.
+func Scatter(xs []int) []int {
+	out := make([]int, len(xs))
+	done := make(chan struct{})
+	for i, x := range xs {
+		go func() {
+			out[i] = x * x
+			done <- struct{}{}
+		}()
+	}
+	for range xs {
+		<-done
+	}
+	return out
+}
+
+// Gather accumulates results in completion order.
+func Gather(xs []int) []int {
+	var out []int
+	done := make(chan struct{})
+	for _, x := range xs {
+		go func() {
+			out = append(out, x*x) // want `goroutine appends to captured out`
+			done <- struct{}{}
+		}()
+	}
+	for range xs {
+		<-done
+	}
+	return out
+}
+
+// Tally writes a shared map under a key that is not the shard's.
+func Tally(xs []int) map[string]int {
+	counts := map[string]int{}
+	done := make(chan struct{})
+	for _, x := range xs {
+		go func() {
+			counts["total"] += x // want `goroutine writes shared map through counts`
+			done <- struct{}{}
+		}()
+	}
+	for range xs {
+		<-done
+	}
+	return counts
+}
+
+// forEach runs fn(i) for each i in [0, n) on worker goroutines.
+//
+//daelint:concurrent-callback
+func forEach(n int, fn func(int)) {
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			fn(i)
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+// ParSquares shards by index through the concurrent callback: clean.
+func ParSquares(xs []int) []int {
+	out := make([]int, len(xs))
+	forEach(len(xs), func(i int) {
+		out[i] = xs[i] * xs[i]
+	})
+	return out
+}
+
+// ParCollect accumulates through the concurrent callback.
+func ParCollect(xs []int) []int {
+	var out []int
+	forEach(len(xs), func(i int) {
+		out = append(out, xs[i]) // want `goroutine appends to captured out`
+	})
+	return out
+}

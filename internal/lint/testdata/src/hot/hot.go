@@ -1,0 +1,82 @@
+// Package hot exercises the hotpath analyzer: annotated functions are
+// audited for allocation, boxing and map traffic, and calls must stay
+// inside the annotated set.
+package hot
+
+import "fmt"
+
+type state struct {
+	seen map[int]bool
+}
+
+// Sum is allocation-free: clean.
+//
+//daelint:hotpath
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Grow allocates per call.
+//
+//daelint:hotpath
+func Grow(n int) []int {
+	return make([]int, n) // want `make in hot path allocates`
+}
+
+// Lookup hits a map on the hot path.
+//
+//daelint:hotpath
+func (s *state) Lookup(k int) bool {
+	return s.seen[k] // want `map access in hot path hashes per operation`
+}
+
+// Close builds a closure per call.
+//
+//daelint:hotpath
+func Close(x int) func() int {
+	return func() int { return x } // want `closure in hot path`
+}
+
+// Spawn escapes a struct literal.
+//
+//daelint:hotpath
+func Spawn() *state {
+	return &state{} // want `&composite literal in hot path escapes to the heap`
+}
+
+// Pair allocates a slice literal and returns it.
+//
+//daelint:hotpath
+func Pair(a, b int) []int {
+	return []int{a, b} // want `slice literal in hot path allocates its backing store` `returning a composite literal from a hot path escapes it`
+}
+
+func helper(x int) int { return x + 1 }
+
+// Calls reaches a same-package function outside the audited set.
+//
+//daelint:hotpath
+func Calls(x int) int {
+	return helper(x) // want `hot path calls helper, which is not annotated //daelint:hotpath`
+}
+
+// Format boxes its argument into fmt's variadic interface parameter.
+//
+//daelint:hotpath
+func Format(x int) string {
+	return fmt.Sprint(x) // want `argument boxes a concrete value into an interface parameter`
+}
+
+// ColdExit justifies its error-path allocation with a suppression.
+//
+//daelint:hotpath
+func ColdExit(x int) (int, error) {
+	if x < 0 {
+		return 0, fmt.Errorf("negative input %d", x) //daelint:hotpath-ok cold exit: invalid input aborts the run
+	}
+	return x * 2, nil
+}

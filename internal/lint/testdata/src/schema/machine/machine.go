@@ -1,0 +1,38 @@
+// Package machine is the schemaguard fixture's parameter schema: A and
+// B are fully plumbed, C is the field someone forgot everywhere, D is
+// consciously exempted with annotations.
+package machine
+
+import "strconv"
+
+// Params mirrors the real machine.Params shape.
+type Params struct {
+	A int
+	B string
+	C int // want `field C added to machine.Params but not encoded in CacheKey` `field C added to machine.Params but missing from the wire struct wire.Params` `ToParams does not read Params.C`
+	// D is in-process state.
+	//daelint:unkeyed fixture: not part of cache identity
+	//daelint:unwired fixture: not serializable
+	D func()
+}
+
+// Op mirrors the real engine.Op for the fingerprint check.
+type Op struct {
+	Code int
+	Addr int // want `field Addr added to machine.Op but not hashed by Fingerprint`
+}
+
+// CacheKey encodes the cache identity of p.
+func (p Params) CacheKey() string {
+	return strconv.Itoa(p.A) + "|" + p.B
+}
+
+// Fingerprint hashes an op stream.
+func Fingerprint(ops []Op) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := range ops {
+		h ^= uint64(ops[i].Code)
+		h *= 1099511628211
+	}
+	return h
+}

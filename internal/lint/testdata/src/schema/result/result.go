@@ -1,0 +1,31 @@
+// Package result is the schemaguard fixture's result schema: Clone
+// forgets two reference-typed fields and the oracle comparison is
+// field-by-field instead of structural.
+package result
+
+// CoreStats is per-core state with a reference-typed field.
+type CoreStats struct {
+	Retired int64
+	Occ     map[int]int64 // want `reference-typed field CoreStats.Occ is not deep-copied by Clone`
+}
+
+// Result is the top-level result.
+type Result struct {
+	Cycles int64
+	Cores  []CoreStats
+	Hist   []int64 // want `reference-typed field Result.Hist is not deep-copied by Clone`
+}
+
+// Clone deep-copies a Result — except it forgot Hist and Occ.
+func (r *Result) Clone() *Result {
+	c := *r
+	c.Cores = make([]CoreStats, len(r.Cores))
+	copy(c.Cores, r.Cores)
+	return &c
+}
+
+// resultsEqual compares field by field, which schemaguard rejects: a
+// new Result field would be silently ignored.
+func resultsEqual(a, b *Result) bool { // want `resultsEqual must compare whole Results with reflect.DeepEqual`
+	return a.Cycles == b.Cycles && len(a.Cores) == len(b.Cores)
+}

@@ -1,0 +1,30 @@
+// Package wire is the schemaguard fixture's wire schema: A and B match
+// the machine params, X and Y are protocol surface with no counterpart,
+// and Y also lacks a json tag.
+package wire
+
+import "schema/machine"
+
+// Params is the wire form of machine.Params.
+type Params struct {
+	A int    `json:"a"`
+	B string `json:"b"`
+	X int    `json:"x"` // want `wire field X has no counterpart in machine.Params` `Machine does not read wire field X`
+	Y int    // want `wire field Y has no counterpart in machine.Params` `wire field Y has no json tag` `Machine does not read wire field Y`
+}
+
+// ToParams converts the wire form to machine params.
+func (w Params) ToParams() machine.Params {
+	var p machine.Params
+	p.A = w.A
+	p.B = w.B
+	return p
+}
+
+// Machine decodes the wire struct field by field.
+func (w Params) Machine() machine.Params {
+	var p machine.Params
+	p.A = w.A
+	p.B = w.B
+	return p
+}

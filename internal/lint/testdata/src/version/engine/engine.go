@@ -1,0 +1,30 @@
+// Package engine is the versionkey fixture: a tiny Sim with a version
+// constant, a semantics root and a surface struct. The lifecycle test
+// copies this tree to a temp dir, writes the lock, edits the surface
+// and asserts each ratchet stage.
+package engine
+
+// Version tags the semantics of Run.
+const Version = "engine-v1"
+
+// Config is a surface struct.
+type Config struct {
+	Width int
+}
+
+// Sim is the fixture engine.
+type Sim struct{}
+
+// step advances one cycle.
+func (s *Sim) step(w int) int {
+	return w + 1
+}
+
+// Run is the semantic root.
+func (s *Sim) Run(cfg Config) int {
+	t := 0
+	for i := 0; i < cfg.Width; i++ {
+		t = s.step(t)
+	}
+	return t
+}

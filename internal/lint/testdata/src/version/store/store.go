@@ -1,0 +1,10 @@
+// Package store keys its entries by the engine version, satisfying the
+// versionkey analyzer's RequireVersionUse check.
+package store
+
+import "version/engine"
+
+// Key builds a cache key embedding the engine version.
+func Key(name string) string {
+	return engine.Version + "/" + name
+}

@@ -1,0 +1,366 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// VersionKeyConfig names the engine-version discipline the versionkey
+// analyzer enforces: the declarations whose change can alter a Result
+// for the same inputs (the "semantics surface" of Sim.Run) are recorded
+// in a lock file keyed by the engine version string, so editing the
+// surface without either bumping the version or consciously regenerating
+// the lock (a reviewable diff) fails the build gate.
+type VersionKeyConfig struct {
+	// EnginePkg declares VersionConst and the root functions.
+	EnginePkg    string
+	VersionConst string
+	// VersionPattern constrains the version string's shape.
+	VersionPattern string
+	// Roots are function keys within EnginePkg ("(Sim).Run", "Run");
+	// every same-package function reachable from them is surface.
+	Roots []string
+	// Structs are {package path, type name} pairs whose field lists and
+	// types are surface (config knobs reaching the engine).
+	Structs [][2]string
+	// ConstPkgs are packages whose exported constant values are surface
+	// (calibrated latencies, queue factors).
+	ConstPkgs []string
+	// LockFile is the lock file name, relative to EnginePkg's directory.
+	LockFile string
+	// RequireVersionUse lists packages that must reference VersionConst
+	// in non-test code (cache-entry key builders, skew guards).
+	RequireVersionUse []string
+}
+
+// DefaultVersionKeyConfig encodes this repo's discipline: engine.Version
+// tags Sim.Run semantics, sweep folds it into store keys and daemon into
+// skew guards, and internal/engine/semantics.lock pins the surface.
+var DefaultVersionKeyConfig = VersionKeyConfig{
+	EnginePkg:      "daesim/internal/engine",
+	VersionConst:   "Version",
+	VersionPattern: `^engine-v\d+$`,
+	Roots:          []string{"(Sim).Run", "Run"},
+	Structs: [][2]string{
+		{"daesim/internal/engine", "Config"},
+		{"daesim/internal/engine", "Op"},
+		{"daesim/internal/machine", "Params"},
+	},
+	ConstPkgs: []string{
+		"daesim/internal/engine",
+		"daesim/internal/machine",
+		"daesim/internal/isa",
+	},
+	LockFile:          "semantics.lock",
+	RequireVersionUse: []string{"daesim/internal/sweep", "daesim/internal/daemon"},
+}
+
+// NewVersionKey builds the versionkey analyzer.
+func NewVersionKey(cfg VersionKeyConfig) *Analyzer {
+	return &Analyzer{
+		Name: "versionkey",
+		Doc:  "pins Sim.Run's semantics surface to engine.Version via a lock file",
+		Run: func(w *World, report func(pos token.Pos, format string, args ...any)) {
+			checkVersionKey(w, cfg, report)
+		},
+	}
+}
+
+func checkVersionKey(w *World, cfg VersionKeyConfig, report func(pos token.Pos, format string, args ...any)) {
+	pkg := w.Pkg(cfg.EnginePkg)
+	if pkg == nil {
+		return
+	}
+	version, vpos, ok := versionValue(pkg, cfg.VersionConst)
+	if !ok {
+		report(token.NoPos, "%s.%s not found: the engine must declare its semantics version for persistent caches", pkgBase(cfg.EnginePkg), cfg.VersionConst)
+		return
+	}
+	if cfg.VersionPattern != "" {
+		if re, err := regexp.Compile(cfg.VersionPattern); err == nil && !re.MatchString(version) {
+			report(vpos, "%s.%s = %q does not match %s: cache keys embed this string, keep it canonical", pkgBase(cfg.EnginePkg), cfg.VersionConst, version, cfg.VersionPattern)
+		}
+	}
+
+	// Cache-identity plumbing: the packages that build persistent keys
+	// must fold the version in, or a semantics bump would not invalidate
+	// their entries.
+	for _, path := range cfg.RequireVersionUse {
+		p := w.Pkg(path)
+		if p == nil {
+			continue
+		}
+		if !usesObject(p, cfg.EnginePkg, cfg.VersionConst) {
+			report(token.NoPos, "package %s never references %s.%s: its persistent keys or skew guards would survive a semantics bump", path, pkgBase(cfg.EnginePkg), cfg.VersionConst)
+		}
+	}
+
+	surface, err := ComputeSemanticsSurface(w, cfg)
+	if err != nil {
+		report(token.NoPos, "versionkey: %v", err)
+		return
+	}
+	lockPath := filepath.Join(pkg.Dir, cfg.LockFile)
+	lock, err := os.ReadFile(lockPath)
+	if err != nil {
+		report(vpos, "semantics lock %s missing: run `go run ./cmd/daelint -update-semantics ./...` to pin the surface reachable from %s", cfg.LockFile, strings.Join(cfg.Roots, ", "))
+		return
+	}
+	lockVersion, lockLines := parseLock(string(lock))
+	if lockVersion != version {
+		report(vpos, "%s.%s is %q but %s records %q: regenerate the lock with `go run ./cmd/daelint -update-semantics ./...` so the bump and its surface land in one reviewable diff", pkgBase(cfg.EnginePkg), cfg.VersionConst, version, cfg.LockFile, lockVersion)
+		return
+	}
+	added, removed := diffLines(lockLines, surface)
+	if len(added) == 0 && len(removed) == 0 {
+		return
+	}
+	var parts []string
+	if len(added) > 0 {
+		parts = append(parts, "added: "+strings.Join(added, ", "))
+	}
+	if len(removed) > 0 {
+		parts = append(parts, "removed: "+strings.Join(removed, ", "))
+	}
+	report(vpos, "declarations reachable from %s changed (%s) while %s.%s stayed %q: if Results can change, bump the version; either way regenerate with `go run ./cmd/daelint -update-semantics ./...` (the reference-oracle tests gate Result-preserving refactors)", strings.Join(cfg.Roots, "/"), strings.Join(parts, "; "), pkgBase(cfg.EnginePkg), cfg.VersionConst, version)
+}
+
+// ComputeSemanticsSurface renders the current surface as sorted lock
+// lines (without the version header).
+func ComputeSemanticsSurface(w *World, cfg VersionKeyConfig) ([]string, error) {
+	pkg := w.Pkg(cfg.EnginePkg)
+	if pkg == nil {
+		return nil, fmt.Errorf("package %s not loaded", cfg.EnginePkg)
+	}
+	qual := func(p *types.Package) string { return p.Path() }
+	var lines []string
+
+	// Reachable functions from the roots, same-package closure.
+	decls := funcDecls(pkg)
+	visited := map[string]bool{}
+	var visit func(key string)
+	visit = func(key string) {
+		if visited[key] {
+			return
+		}
+		visited[key] = true
+		fd := decls[key]
+		if fd == nil {
+			return
+		}
+		if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+			// The body hash is over the printed AST: editing code trips the
+			// ratchet, editing comments or formatting does not.
+			lines = append(lines, fmt.Sprintf("func %s %s body:%s", key, types.TypeString(obj.Type(), qual), bodyHash(w.Fset, fd)))
+		}
+		if fd.Body == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := calleeFunc(pkg.Info, call); callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == pkg.Path {
+					visit(funcKey(callee))
+				}
+			}
+			return true
+		})
+	}
+	for _, root := range cfg.Roots {
+		key := pkg.Path + "." + root
+		if decls[key] == nil {
+			return nil, fmt.Errorf("root %s not found in %s", root, cfg.EnginePkg)
+		}
+		visit(key)
+	}
+
+	// Struct field surfaces.
+	for _, s := range cfg.Structs {
+		sp := w.Pkg(s[0])
+		if sp == nil {
+			return nil, fmt.Errorf("surface package %s not loaded", s[0])
+		}
+		_, st := namedStruct(sp, s[1])
+		if st == nil {
+			return nil, fmt.Errorf("surface struct %s.%s not found", s[0], s[1])
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			lines = append(lines, fmt.Sprintf("field %s.%s.%s %s", s[0], s[1], f.Name(), types.TypeString(f.Type(), qual)))
+		}
+	}
+
+	// Exported constant values (calibration knobs).
+	for _, path := range cfg.ConstPkgs {
+		cp := w.Pkg(path)
+		if cp == nil {
+			return nil, fmt.Errorf("const package %s not loaded", path)
+		}
+		scope := cp.Types.Scope()
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok || !c.Exported() {
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("const %s.%s = %s", path, name, constString(c.Val())))
+		}
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+// WriteSemanticsLock regenerates the lock file for the current world.
+func WriteSemanticsLock(w *World, cfg VersionKeyConfig) (string, error) {
+	pkg := w.Pkg(cfg.EnginePkg)
+	if pkg == nil {
+		return "", fmt.Errorf("lint: package %s not loaded; include it in the patterns", cfg.EnginePkg)
+	}
+	version, _, ok := versionValue(pkg, cfg.VersionConst)
+	if !ok {
+		return "", fmt.Errorf("lint: %s.%s not found", cfg.EnginePkg, cfg.VersionConst)
+	}
+	surface, err := ComputeSemanticsSurface(w, cfg)
+	if err != nil {
+		return "", fmt.Errorf("lint: %v", err)
+	}
+	var b strings.Builder
+	b.WriteString("# daelint:versionkey semantics surface.\n")
+	b.WriteString("# Declarations reachable from the engine's semantic roots, keyed by the\n")
+	b.WriteString("# engine version. Regenerate (after auditing whether Results can change\n")
+	b.WriteString("# and bumping the version if so) with:\n")
+	b.WriteString("#\n")
+	b.WriteString("#   go run ./cmd/daelint -update-semantics ./...\n")
+	b.WriteString("version " + version + "\n")
+	for _, l := range surface {
+		b.WriteString(l + "\n")
+	}
+	path := filepath.Join(pkg.Dir, cfg.LockFile)
+	return path, os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func versionValue(pkg *Package, name string) (string, token.Pos, bool) {
+	obj, ok := pkg.Types.Scope().Lookup(name).(*types.Const)
+	if !ok || obj.Val().Kind() != constant.String {
+		return "", token.NoPos, false
+	}
+	return constant.StringVal(obj.Val()), obj.Pos(), true
+}
+
+// usesObject reports whether pkg's non-test files reference the named
+// object of another package.
+func usesObject(pkg *Package, objPkg, objName string) bool {
+	for i, f := range pkg.Files {
+		if i >= pkg.NumNonTest {
+			break
+		}
+		found := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || id.Name != objName {
+				return true
+			}
+			if obj := pkg.Info.Uses[id]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == objPkg {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func parseLock(content string) (version string, lines []string) {
+	for _, l := range strings.Split(content, "\n") {
+		l = strings.TrimSpace(l)
+		if l == "" || strings.HasPrefix(l, "#") {
+			continue
+		}
+		if v, ok := strings.CutPrefix(l, "version "); ok {
+			version = v
+			continue
+		}
+		lines = append(lines, l)
+	}
+	sort.Strings(lines)
+	return version, lines
+}
+
+// diffLines returns the lines only in want (added) and only in got
+// (removed), summarized by their identity prefix (first two tokens) so
+// a signature change reads as one entry, not an add/remove pair.
+func diffLines(got, want []string) (added, removed []string) {
+	gotSet := map[string]bool{}
+	for _, l := range got {
+		gotSet[l] = true
+	}
+	wantSet := map[string]bool{}
+	for _, l := range want {
+		wantSet[l] = true
+	}
+	ident := func(l string) string {
+		parts := strings.SplitN(l, " ", 3)
+		if len(parts) >= 2 {
+			return parts[0] + " " + parts[1]
+		}
+		return l
+	}
+	gotIdent := map[string]bool{}
+	for _, l := range got {
+		gotIdent[ident(l)] = true
+	}
+	wantIdent := map[string]bool{}
+	for _, l := range want {
+		wantIdent[ident(l)] = true
+	}
+	seen := map[string]bool{}
+	for _, l := range want {
+		if !gotSet[l] && !seen[ident(l)] {
+			seen[ident(l)] = true
+			if gotIdent[ident(l)] {
+				added = append(added, ident(l)+" (changed)")
+			} else {
+				added = append(added, ident(l))
+			}
+		}
+	}
+	for _, l := range got {
+		if !wantSet[l] && !seen[ident(l)] {
+			seen[ident(l)] = true
+			removed = append(removed, ident(l))
+		}
+	}
+	return added, removed
+}
+
+// constString renders a constant value stably.
+func constString(v constant.Value) string {
+	return v.ExactString()
+}
+
+// bodyHash fingerprints a function body through go/printer, which emits
+// the syntax without comments: semantics-bearing edits change the hash,
+// comment and whitespace churn does not.
+func bodyHash(fset *token.FileSet, fd *ast.FuncDecl) string {
+	if fd.Body == nil {
+		return "none"
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, fd.Body); err != nil {
+		return "unprintable"
+	}
+	h := fnv.New64a()
+	h.Write(buf.Bytes())
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -10,26 +10,49 @@ import (
 	"daesim/internal/partition"
 )
 
-// TestCacheKeyCoversAllParams pins Params' field count. If this fails
-// you added (or removed) a Params field: extend Params.CacheKey's
-// canonical encoding to cover it, then update the count. Skipping the
-// encoding would silently alias distinct configurations in the
-// persistent result cache.
+// TestCacheKeyCoversAllParams pins Params' field list by name
+// (daelint's schemaguard proves the encoding coverage statically; this
+// is the runtime backstop). If this fails you added, removed or renamed
+// a Params field: extend Params.CacheKey's canonical encoding to cover
+// it, then update the list here. Skipping the encoding would silently
+// alias distinct configurations in the persistent result cache.
 func TestCacheKeyCoversAllParams(t *testing.T) {
-	const knownFields = 15
-	if n := reflect.TypeOf(Params{}).NumField(); n != knownFields {
-		t.Fatalf("Params has %d fields, CacheKey encodes %d: update the canonical encoding first", n, knownFields)
-	}
+	auditFields(t, reflect.TypeOf(Params{}), "CacheKey", []string{
+		"Window", "AUWindow", "DUWindow", "MD", "FPLat", "CopyLat",
+		"AUWidth", "DUWidth", "Width", "DispatchWidth", "MemQueue",
+		"Mem", "CollectESW", "HoldSendSlots", "Retire",
+	})
 }
 
-// TestFingerprintCoversAllOpFields pins engine.Op's field count the same
+// TestFingerprintCoversAllOpFields pins engine.Op's field list the same
 // way: Suite.Fingerprint hashes every Op field by hand, so a new field
 // that can affect simulation results must be added to the hash (or the
 // persistent store would alias suites differing only in that field).
 func TestFingerprintCoversAllOpFields(t *testing.T) {
-	const knownFields = 6
-	if n := reflect.TypeOf(engine.Op{}).NumField(); n != knownFields {
-		t.Fatalf("engine.Op has %d fields, Fingerprint hashes %d: extend the hash first", n, knownFields)
+	auditFields(t, reflect.TypeOf(engine.Op{}), "Fingerprint", []string{
+		"Kind", "Unit", "Srcs", "MemSrc", "Addr", "Orig",
+	})
+}
+
+// auditFields fails naming the exact fields that drifted from the
+// audited list.
+func auditFields(t *testing.T, typ reflect.Type, encoder string, known []string) {
+	t.Helper()
+	have := map[string]bool{}
+	for i := 0; i < typ.NumField(); i++ {
+		have[typ.Field(i).Name] = true
+	}
+	audited := map[string]bool{}
+	for _, n := range known {
+		audited[n] = true
+		if !have[n] {
+			t.Errorf("%s.%s was audited but is no longer declared: update the audit list", typ.Name(), n)
+		}
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		if n := typ.Field(i).Name; !audited[n] {
+			t.Errorf("%s.%s is not covered by the %s audit: extend %s (or annotate it for daelint), then add it here", typ.Name(), n, encoder, encoder)
+		}
 	}
 }
 

@@ -64,6 +64,7 @@ type Params struct {
 	MemQueue int
 	// Mem selects a custom memory model and overrides MemQueue; nil uses
 	// the fixed differential plus the MemQueue bound.
+	//daelint:unwired in-process interface, not serializable: ToParams rejects it and CacheKey refuses to cache it
 	Mem engine.MemModel
 	// CollectESW enables effective-single-window statistics.
 	CollectESW bool

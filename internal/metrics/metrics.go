@@ -181,7 +181,7 @@ func (s *Search) par() int {
 	if s.Runner != nil && s.Runner.Parallelism > 0 {
 		return s.Runner.Parallelism
 	}
-	return runtime.GOMAXPROCS(0)
+	return runtime.GOMAXPROCS(0) //daelint:nondeterministic-ok worker-pool width only; the wave ladder places every probe by step index
 }
 
 // sim returns the i'th warm scratch context, growing the pool on demand.

@@ -219,7 +219,7 @@ func (s *Store) GC(pol GCPolicy) (GCResult, error) {
 			res.Errors++
 		}
 	}
-	cutoff := time.Now().Add(-pol.MaxAge)
+	cutoff := time.Now().Add(-pol.MaxAge) //daelint:nondeterministic-ok GC age cutoff prunes cache entries; simulation results are never derived from it
 	i := 0
 	if pol.MaxAge > 0 {
 		for ; i < len(blobs) && blobs[i].mtime.Before(cutoff); i++ {

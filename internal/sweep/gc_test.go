@@ -34,7 +34,7 @@ func gcStore(t *testing.T, n int, base time.Time) *Store {
 }
 
 func TestGCMaxEntriesEvictsLRU(t *testing.T) {
-	base := time.Now().Add(-time.Hour)
+	base := time.Now().Add(-time.Hour) //daelint:nondeterministic-ok GC tests fabricate mtimes relative to the real clock
 	st := gcStore(t, 10, base)
 	res, err := st.GC(GCPolicy{MaxEntries: 4})
 	if err != nil {
@@ -56,7 +56,7 @@ func TestGCMaxEntriesEvictsLRU(t *testing.T) {
 }
 
 func TestGCRecencyIsAccessNotInstall(t *testing.T) {
-	base := time.Now().Add(-time.Hour)
+	base := time.Now().Add(-time.Hour) //daelint:nondeterministic-ok GC tests fabricate mtimes relative to the real clock
 	st := gcStore(t, 6, base)
 	// Touch the two oldest entries via Get: they become the most recent.
 	for _, k := range []string{"key-0", "key-1"} {
@@ -76,7 +76,7 @@ func TestGCRecencyIsAccessNotInstall(t *testing.T) {
 }
 
 func TestGCMaxBytes(t *testing.T) {
-	base := time.Now().Add(-time.Hour)
+	base := time.Now().Add(-time.Hour) //daelint:nondeterministic-ok GC tests fabricate mtimes relative to the real clock
 	st := gcStore(t, 8, base)
 	// All entries are the same size; bound to roughly three entries' bytes.
 	info, err := os.Stat(st.path("key-0"))
@@ -102,7 +102,7 @@ func TestGCMaxBytes(t *testing.T) {
 }
 
 func TestGCMaxAge(t *testing.T) {
-	st := gcStore(t, 4, time.Now().Add(-time.Hour))
+	st := gcStore(t, 4, time.Now().Add(-time.Hour)) //daelint:nondeterministic-ok GC tests fabricate mtimes relative to the real clock
 	// key-4 installed now: inside any reasonable age bound.
 	st.Put("key-4", &engine.Result{Cycles: 4})
 	res, err := st.GC(GCPolicy{MaxAge: 30 * time.Minute})
@@ -118,7 +118,7 @@ func TestGCMaxAge(t *testing.T) {
 }
 
 func TestGCUnboundedPolicyIsANoop(t *testing.T) {
-	st := gcStore(t, 5, time.Now().Add(-time.Hour))
+	st := gcStore(t, 5, time.Now().Add(-time.Hour)) //daelint:nondeterministic-ok GC tests fabricate mtimes relative to the real clock
 	res, err := st.GC(GCPolicy{})
 	if err != nil {
 		t.Fatal(err)
@@ -152,7 +152,7 @@ func TestGCConcurrentReadersWriters(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			for i := 0; ; i++ {
-				select {
+				select { //daelint:nondeterministic-ok stop-signal poll in a churn stress test; no result depends on which case wins
 				case <-stop:
 					return
 				default:

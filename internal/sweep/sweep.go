@@ -256,7 +256,7 @@ func (r *Runner) Stats() CacheStats {
 func (r *Runner) forEach(n int, fn func(sim *engine.Sim, i int)) {
 	par := r.Parallelism
 	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
+		par = runtime.GOMAXPROCS(0) //daelint:nondeterministic-ok worker-pool width only; fn writes results indexed by i
 	}
 	if par > n {
 		par = n
