@@ -4,7 +4,8 @@
 // Usage:
 //
 //	repro [-out results] [-scale 1] [-par 0] [-cache dir] [-cache-clear] [-cache-stats file]
-//	      [-cache-gc policy] [-remote url1,url2,...] [-remote-batch=true]
+//	      [-cache-gc policy] [-remote url1,url2,...] [-remote-batch=true] [-degrade=true]
+//	      [-hedge 0] [-chaos spec] [-chaos-stats file] [-chaos-trace file]
 //	      [-exp all|table1|fig4|fig5|fig6|fig7|fig8|fig9|cutoffs|bigwindow|esw|ablations|expansion|policies|retire|cache|complexity]
 //
 // With -cache, simulation results are read from and written to a
@@ -21,23 +22,47 @@
 // hashing with failover (DESIGN.md §11). Remote sweeps and search probe
 // waves are batched into one request per replica round trip;
 // -remote-batch=false reverts to one request per point (the
-// request-count comparison CI's fleet smoke asserts). The summary
-// always prints to stderr, keeping stdout byte-comparable across runs.
+// request-count comparison CI's fleet smoke asserts). Replica failures
+// climb the ladder of DESIGN.md §13 — retry with backoff, circuit
+// breakers, rerouting — and -degrade (on by default) arms the last
+// resort: points whose every replica is down are simulated locally, so
+// the run completes byte-identically even with the whole fleet dead
+// (-degrade=false fails loudly instead). -hedge arms tail-latency
+// hedging for single-point remote calls. SIGINT/SIGTERM cancel the
+// remote calls in flight and fail the run cleanly.
+//
+// -chaos injects deterministic faults for testing that ladder: the spec
+// (e.g. "seed=7,timeout@r1:rate=0.2,5xx:rate=0.05") seeds a schedule of
+// refusals, timeouts, slow or corrupted replies against the daemon
+// transports (scopes r0,r1,... in -remote list order) and the local
+// store's blob I/O (scope "store"). The same spec replays the same
+// faults. -chaos-stats writes the observed fault/retry/degrade counters
+// as JSON; -chaos-trace writes the per-request fault decisions (stable
+// across runs at -par 1). The summary always prints to stderr, keeping
+// stdout byte-comparable across runs.
 //
 // TestUsageEnumeratesExperiments keeps the usage line above, the -exp
 // flag help and the dispatch table in sync.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"daesim/internal/daemon"
+	"daesim/internal/engine"
 	"daesim/internal/experiments"
+	"daesim/internal/faultinject"
+	"daesim/internal/machine"
 	"daesim/internal/sweep"
 )
 
@@ -113,7 +138,18 @@ func main() {
 	cacheGC := flag.String("cache-gc", "", "trim the persistent cache after the run, e.g. max-entries=5000,max-bytes=256mb,max-age=168h")
 	remote := flag.String("remote", "", "comma-separated sweepd base URLs: run cacheable simulations on a daemon (or a consistent-hash fleet) instead of locally")
 	remoteBatch := flag.Bool("remote-batch", true, "with -remote, batch sweeps and probe waves into one request per replica round trip")
+	degrade := flag.Bool("degrade", true, "with -remote, fall back to local simulation for points whose every replica is unavailable (false: fail loudly)")
+	hedge := flag.Duration("hedge", 0, "with -remote, hedge single-point calls to a second replica after this delay (0 = off)")
+	chaos := flag.String("chaos", "", "deterministic fault-injection schedule, e.g. seed=7,timeout@r1:rate=0.2,5xx:rate=0.05 (see internal/faultinject)")
+	chaosStats := flag.String("chaos-stats", "", "write fault-injection and failure-handling counters as JSON to this file")
+	chaosTrace := flag.String("chaos-trace", "", "write the per-request fault decision trace as JSON to this file (stable across runs at -par 1)")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel remote calls in flight: the run fails
+	// cleanly instead of hanging on a retry loop (cancellation is never
+	// degraded to local simulation).
+	rctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	ctx := experiments.NewContext()
 	ctx.Scale = *scale
@@ -144,16 +180,36 @@ func main() {
 		}
 		gcPolicy = pol
 	}
+	var injector *faultinject.Injector
+	if *chaos != "" {
+		sched, err := faultinject.ParseSchedule(*chaos)
+		if err != nil {
+			fatal(fmt.Errorf("-chaos: %w", err))
+		}
+		injector = faultinject.NewInjector(sched)
+		if ctx.Cache != nil {
+			ctx.Cache.Faults = &faultinject.StoreFaults{Injector: injector}
+		}
+	} else if *chaosTrace != "" {
+		fatal(fmt.Errorf("-chaos-trace needs -chaos"))
+	}
+	var fleet *daemon.FleetClient
 	if *remote != "" {
-		if err := attachRemote(ctx, *remote, *remoteBatch); err != nil {
+		f, err := attachRemote(rctx, ctx, *remote, *remoteBatch, injector, *hedge)
+		if err != nil {
 			fatal(fmt.Errorf("-remote: %w", err))
 		}
+		fleet = f
+		ctx.Degrade = *degrade
 	}
 
 	if err := run(ctx, *exp, *out); err != nil {
 		fatal(err)
 	}
 	if err := reportCache(ctx, *cacheStats); err != nil {
+		fatal(err)
+	}
+	if err := reportChaos(ctx, fleet, injector, *chaos, *chaosStats, *chaosTrace); err != nil {
 		fatal(err)
 	}
 	if *cacheGC != "" {
@@ -163,40 +219,48 @@ func main() {
 	}
 }
 
-// attachRemote wires the context's Remote/RemoteBatch hooks to one
-// daemon or, for a comma-separated list, a consistent-hash fleet. The
-// health handshake runs up front so a dead or skewed daemon fails the
-// run before any simulation starts.
-func attachRemote(ctx *experiments.Context, spec string, batch bool) error {
+// attachRemote wires the context's Remote/RemoteBatch/RemoteSearch
+// hooks to a consistent-hash fleet over the comma-separated URLs (a
+// single URL is a one-replica fleet — same failure ladder, trivial
+// ring). The health handshake runs up front, over the clean
+// transports, so a dead or skewed daemon fails the run before any
+// simulation starts; only then are the transports wrapped with the
+// chaos injector (scope "r<i>" in list order) — faults exercise the
+// steady-state path, not the startup gate. rctx carries the process
+// signal context into every remote call.
+func attachRemote(rctx context.Context, ctx *experiments.Context, spec string, batch bool, injector *faultinject.Injector, hedge time.Duration) (*daemon.FleetClient, error) {
 	urls := strings.Split(spec, ",")
 	for i := range urls {
 		urls[i] = strings.TrimSpace(urls[i])
 	}
-	if len(urls) == 1 {
-		client := daemon.NewClient(urls[0])
-		if err := client.Health(); err != nil {
-			return err
-		}
-		ctx.Remote = client.Run
-		if batch {
-			ctx.RemoteBatch = client.RunBatch
-			ctx.RemoteSearch = client.RatioBatch
-		}
-		return nil
-	}
 	fleet, err := daemon.NewFleetClient(urls)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if err := fleet.Health(); err != nil {
-		return err
+	fleet.HedgeDelay = hedge
+	if err := fleet.Health(rctx); err != nil {
+		return nil, err
 	}
-	ctx.Remote = fleet.Run
+	if injector != nil {
+		for i, c := range fleet.Clients() {
+			c.HTTP = &http.Client{
+				Timeout:   15 * time.Minute,
+				Transport: &faultinject.Transport{Injector: injector, Scope: fmt.Sprintf("r%d", i)},
+			}
+		}
+	}
+	ctx.Remote = func(workload string, scale int, fingerprint string, pt sweep.Point) (*engine.Result, error) {
+		return fleet.Run(rctx, workload, scale, fingerprint, pt)
+	}
 	if batch {
-		ctx.RemoteBatch = fleet.RunBatch
-		ctx.RemoteSearch = fleet.RatioBatch
+		ctx.RemoteBatch = func(workload string, scale int, fingerprint string, pts []sweep.Point) ([]*engine.Result, error) {
+			return fleet.RunBatch(rctx, workload, scale, fingerprint, pts)
+		}
+		ctx.RemoteSearch = func(workload string, scale int, fingerprint string, params []machine.Params) ([]experiments.RatioAnswer, error) {
+			return fleet.RatioBatch(rctx, workload, scale, fingerprint, params)
+		}
 	}
-	return nil
+	return fleet, nil
 }
 
 // runCacheGC trims the store post-run and prints the pinned one-line
@@ -244,8 +308,8 @@ type cacheReport struct {
 func reportCache(ctx *experiments.Context, statsPath string) error {
 	stats := ctx.CacheStats()
 	report := cacheReport{Runner: stats, HitRate: stats.HitRate(), Store: ctx.StoreStats()}
-	fmt.Fprintf(os.Stderr, "repro: cache: %d sims, %d L1 hits, %d store hits, %d remote, %d remote searches (hit rate %.1f%%), %d uncacheable; store: %d writes, %d corrupt\n",
-		stats.Sims, stats.L1Hits, stats.StoreHits, stats.RemoteHits, stats.RemoteSearches, 100*report.HitRate, stats.Uncacheable,
+	fmt.Fprintf(os.Stderr, "repro: cache: %d sims, %d L1 hits, %d store hits, %d remote, %d remote searches (hit rate %.1f%%), %d uncacheable, %d degraded; store: %d writes, %d corrupt\n",
+		stats.Sims, stats.L1Hits, stats.StoreHits, stats.RemoteHits, stats.RemoteSearches, 100*report.HitRate, stats.Uncacheable, stats.Degraded,
 		report.Store.Writes, report.Store.Corrupt)
 	if statsPath == "" {
 		return nil
@@ -255,4 +319,54 @@ func reportCache(ctx *experiments.Context, statsPath string) error {
 		return err
 	}
 	return os.WriteFile(statsPath, append(data, '\n'), 0o644)
+}
+
+// chaosReport is the -chaos-stats JSON document: what the schedule
+// injected and how the client stack absorbed it.
+type chaosReport struct {
+	// Spec is the -chaos schedule verbatim (empty when only real
+	// failures were in play).
+	Spec string `json:"spec"`
+	// Faults counts the injector's decisions by kind.
+	Faults faultinject.Counts `json:"faults"`
+	// Fleet counts the failure-handling the FleetClient performed:
+	// retries, breaker opens, hedges, draining reroutes, exhausted
+	// points.
+	Fleet daemon.FleetMetrics `json:"fleet"`
+	// Degraded counts points answered by last-resort local simulation.
+	Degraded int64 `json:"degraded"`
+	// Quarantined counts store keys retired after repeated corruption.
+	Quarantined int64 `json:"quarantined"`
+}
+
+// reportChaos writes the -chaos-stats and -chaos-trace documents.
+func reportChaos(ctx *experiments.Context, fleet *daemon.FleetClient, injector *faultinject.Injector, spec, statsPath, tracePath string) error {
+	if statsPath != "" {
+		report := chaosReport{Spec: spec}
+		if injector != nil {
+			report.Faults = injector.Counts()
+		}
+		if fleet != nil {
+			report.Fleet = fleet.Metrics()
+		}
+		report.Degraded = ctx.CacheStats().Degraded
+		report.Quarantined = ctx.StoreStats().CorruptQuarantined
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(statsPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" && injector != nil {
+		data, err := json.MarshalIndent(injector.Trace(), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(tracePath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -6,8 +6,8 @@
 // Usage:
 //
 //	sweepd [-addr :8077] [-cache dir] [-par 0] [-max-concurrent 0]
-//	       [-timeout 0] [-gc ""] [-gc-interval 10m] [-drain 30s] [-quiet]
-//	       [-replica id] [-fleet url1,url2,...]
+//	       [-timeout 0] [-gc ""] [-gc-interval 10m] [-drain 30s]
+//	       [-drain-grace 500ms] [-quiet] [-replica id] [-fleet url1,url2,...]
 //
 // Endpoints: POST /v1/run (one point), POST /v1/sweep (a batch, sharded
 // across the bounded pool), POST /v1/search (equivalent-window, ratio
@@ -25,8 +25,12 @@
 // refuse a replica whose ring membership disagrees with theirs instead
 // of silently splitting the keyspace.
 //
-// On SIGTERM or SIGINT the daemon stops accepting connections, drains
-// in-flight requests for up to -drain, then exits with a final cache
+// On SIGTERM or SIGINT the daemon drains gracefully in two steps:
+// first it advertises "draining" — /healthz flips status and every new
+// work request is refused with 503 plus the X-Sweepd-State header, so
+// fleet clients reroute immediately and penalty-free (DESIGN.md §13) —
+// for -drain-grace; then it stops accepting connections, lets in-flight
+// requests finish for up to -drain, and exits with a final cache
 // summary on stderr. Clients: repro -remote <url> routes a local
 // reproduction's cacheable simulations here; examples/daemon shows the
 // raw API.
@@ -59,18 +63,19 @@ func main() {
 		gcSpec     = flag.String("gc", "", "background store GC policy, e.g. max-entries=5000,max-bytes=256mb,max-age=168h (empty = no background GC)")
 		gcInterval = flag.Duration("gc-interval", 10*time.Minute, "background GC period (with -gc)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight requests")
+		drainGrace = flag.Duration("drain-grace", 500*time.Millisecond, "time to advertise draining (503 + header, reroutes fleet clients) before closing listeners")
 		quiet      = flag.Bool("quiet", false, "suppress per-request logging")
 		replica    = flag.String("replica", "", "this daemon's replica id within a fleet (advertised in /healthz; must be unique)")
 		fleet      = flag.String("fleet", "", "comma-separated URLs of every fleet member, matching the clients' -remote list (advertised in /healthz for membership-skew checks)")
 	)
 	flag.Parse()
-	if err := run(*addr, *cacheDir, *par, *maxConc, *timeout, *gcSpec, *gcInterval, *drain, *quiet, *replica, *fleet); err != nil {
+	if err := run(*addr, *cacheDir, *par, *maxConc, *timeout, *gcSpec, *gcInterval, *drain, *drainGrace, *quiet, *replica, *fleet); err != nil {
 		fmt.Fprintf(os.Stderr, "sweepd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, cacheDir string, par, maxConc int, timeout time.Duration, gcSpec string, gcInterval, drain time.Duration, quiet bool, replica, fleet string) error {
+func run(addr, cacheDir string, par, maxConc int, timeout time.Duration, gcSpec string, gcInterval, drain, drainGrace time.Duration, quiet bool, replica, fleet string) error {
 	cfg := daemon.Config{
 		Parallelism:    par,
 		MaxConcurrent:  maxConc,
@@ -132,7 +137,16 @@ func run(addr, cacheDir string, par, maxConc int, timeout time.Duration, gcSpec 
 		return err
 	case <-ctx.Done():
 	}
+	// Two-step drain: advertise first (new work gets 503 + the draining
+	// header, /healthz flips, fleet clients reroute without charging a
+	// failure), hold the listeners open for the grace window so clients
+	// actually observe the advertisement, then close them and wait out
+	// the in-flight requests.
 	fmt.Fprintln(os.Stderr, "sweepd: draining...")
+	server.BeginDrain()
+	if drainGrace > 0 {
+		time.Sleep(drainGrace)
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	err := httpServer.Shutdown(shutdownCtx)

@@ -174,18 +174,25 @@ type (
 	// DaemonClient talks to a running sweepd daemon (cmd/sweepd): run
 	// single points, sharded sweeps and equivalent-window searches on a
 	// long-lived server with a shared persistent cache, query its cache
-	// statistics, and trigger store GC. Attach DaemonClient.Run to
-	// Experiments.Remote (or, bound to one workload, Runner.Remote) to
-	// route a local sweep's cacheable simulations through the daemon —
-	// repro -remote is exactly that wiring. See DESIGN.md §10.
+	// statistics, and trigger store GC. Every method takes a
+	// context.Context that cancels the request in flight. Bind
+	// DaemonClient.Run to a context and attach it to Experiments.Remote
+	// (or, bound to one workload, Runner.Remote) to route a local
+	// sweep's cacheable simulations through the daemon — repro -remote
+	// is exactly that wiring. See DESIGN.md §10.
 	DaemonClient = daemon.Client
 	// DaemonFleet routes simulations across several sweepd replicas by
-	// consistent hashing of cache keys, with per-replica health checks,
-	// bounded retries and ring-order failover. Attach DaemonFleet.Run
-	// and DaemonFleet.RunBatch to Experiments.Remote/RemoteBatch to
-	// shard a sweep across the fleet with batched round trips —
-	// repro -remote url1,url2,... is exactly that wiring. See
-	// DESIGN.md §11.
+	// consistent hashing of cache keys, with per-replica health checks
+	// and an explicit failure ladder: ring-order failover with bounded,
+	// deterministically-jittered backoff, per-replica circuit breakers
+	// with probe-on-recovery, penalty-free rerouting off draining
+	// replicas, optional hedged single-point requests (HedgeDelay), and
+	// partial-batch returns that let a Degrade-enabled Runner simulate
+	// unserved points locally. Bind DaemonFleet.Run and
+	// DaemonFleet.RunBatch to a context and attach them to
+	// Experiments.Remote/RemoteBatch to shard a sweep across the fleet
+	// with batched round trips — repro -remote url1,url2,... is exactly
+	// that wiring. See DESIGN.md §11 and §13.
 	DaemonFleet = daemon.FleetClient
 	// FleetRing is the consistent-hash ring behind DaemonFleet: a pure
 	// function of the replica address list, deterministic across

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -39,12 +40,13 @@ func main() {
 	}
 
 	client := daesim.NewDaemonClient(base)
-	if err := client.Health(); err != nil {
+	ctx := context.Background()
+	if err := client.Health(ctx); err != nil {
 		log.Fatal(err)
 	}
 
 	// One point: the paper's headline configuration for FLO52Q.
-	res, err := client.Run("FLO52Q", 1, "", daesim.Point{Kind: daesim.DM, P: daesim.Params{Window: 64, MD: 60}})
+	res, err := client.Run(ctx, "FLO52Q", 1, "", daesim.Point{Kind: daesim.DM, P: daesim.Params{Window: 64, MD: 60}})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +63,7 @@ func main() {
 			pts = append(pts, daesim.Point{Kind: kind, P: daesim.Params{Window: w, MD: 60}})
 		}
 	}
-	results, err := client.Sweep("FLO52Q", 1, pts)
+	results, err := client.Sweep(ctx, "FLO52Q", 1, pts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,7 +74,7 @@ func main() {
 
 	// An equivalent-window search (the Figures 7-9 metric), probed
 	// entirely through the daemon's cache.
-	search, err := client.Search("FLO52Q", 1, daemon.SearchRequest{
+	search, err := client.Search(ctx, "FLO52Q", 1, daemon.SearchRequest{
 		Op:     daemon.SearchRatio,
 		Params: daemon.Params{Window: 60, MD: 60},
 	})
@@ -82,13 +84,13 @@ func main() {
 	fmt.Printf("\nequivalent-window ratio at w=60 md=60: %.3f (ok=%v)\n", search.Ratio, search.OK)
 
 	// Cache statistics and a GC pass.
-	stats, err := client.CacheStats()
+	stats, err := client.CacheStats(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ndaemon cache: %d sims, %d L1 hits, hit rate %.1f%%, %d store entries\n",
 		stats.Runner.Sims, stats.Runner.L1Hits, 100*stats.HitRate, stats.StoreEntries)
-	gc, err := client.GC(daesim.GCPolicy{MaxEntries: 1000})
+	gc, err := client.GC(ctx, daesim.GCPolicy{MaxEntries: 1000})
 	if err != nil {
 		log.Fatal(err)
 	}

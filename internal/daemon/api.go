@@ -298,11 +298,24 @@ type StatsResponse struct {
 	Requests      int64   `json:"requests"`
 }
 
-// HealthResponse is the GET /healthz reply. EngineVersion lets clients
-// and probes detect a version-skewed daemon before routing work to it
-// (Client.Health checks it). ReplicaID and Fleet, set when sweepd runs
-// with -replica/-fleet, advertise the daemon's view of the ring so a
-// fleet client can detect membership skew — a client and a replica
+// DrainingHeader marks 503 refusals from a daemon in graceful
+// shutdown (Server.BeginDrain); DrainingValue is both its value and
+// the /healthz status of a draining daemon. Fleet clients treat the
+// marker as "stop routing here, nothing is wrong": the work reroutes
+// without a breaker penalty or a backoff round, because a clean drain
+// is operational hygiene, not a failure.
+const (
+	DrainingHeader = "X-Sweepd-State"
+	DrainingValue  = "draining"
+)
+
+// HealthResponse is the GET /healthz reply. Status is "ok", or
+// "draining" while the daemon winds down (routable probes should treat
+// draining as not-ready). EngineVersion lets clients and probes detect
+// a version-skewed daemon before routing work to it (Client.Health
+// checks it). ReplicaID and Fleet, set when sweepd runs with
+// -replica/-fleet, advertise the daemon's view of the ring so a fleet
+// client can detect membership skew — a client and a replica
 // disagreeing on the member list would route keys to different owners,
 // silently splitting the cache — before any work routes (checked by
 // FleetClient.Health).

@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -55,13 +56,23 @@ func (c *Client) httpClient() *http.Client {
 }
 
 // post sends req to path and decodes the 200 body into resp; non-2xx
-// replies become errors carrying the daemon's message.
-func (c *Client) post(path string, req, resp any) error {
+// replies become errors carrying the daemon's message. ctx cancels the
+// request in flight (nil is tolerated for robustness and means
+// background).
+func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("daemon client: encoding %s request: %w", path, err)
 	}
-	r, err := c.httpClient().Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("daemon client: %s: %w", path, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	r, err := c.httpClient().Do(hreq)
 	if err != nil {
 		return fmt.Errorf("daemon client: %s: %w", path, err)
 	}
@@ -70,8 +81,15 @@ func (c *Client) post(path string, req, resp any) error {
 }
 
 // get fetches path and decodes the 200 body into resp.
-func (c *Client) get(path string, resp any) error {
-	r, err := c.httpClient().Get(c.BaseURL + path)
+func (c *Client) get(ctx context.Context, path string, resp any) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return fmt.Errorf("daemon client: %s: %w", path, err)
+	}
+	r, err := c.httpClient().Do(hreq)
 	if err != nil {
 		return fmt.Errorf("daemon client: %s: %w", path, err)
 	}
@@ -87,6 +105,11 @@ func (c *Client) get(path string, resp any) error {
 type StatusError struct {
 	Code int
 	Msg  string
+	// Draining marks a 503 from a replica that is shutting down
+	// cleanly (the DrainingHeader was set): the fleet client reroutes
+	// the work without charging the replica a failure — draining is
+	// orderly, not broken.
+	Draining bool
 }
 
 func (e *StatusError) Error() string { return fmt.Sprintf("%s (HTTP %d)", e.Msg, e.Code) }
@@ -104,11 +127,12 @@ func (c *Client) decodeReply(path string, r *http.Response, resp any) error {
 		return fmt.Errorf("daemon client: reading %s reply: %w", path, err)
 	}
 	if r.StatusCode != http.StatusOK {
+		draining := r.Header.Get(DrainingHeader) == DrainingValue
 		var e ErrorResponse
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("daemon client: %s: %w", path, &StatusError{Code: r.StatusCode, Msg: e.Error})
+			return fmt.Errorf("daemon client: %s: %w", path, &StatusError{Code: r.StatusCode, Msg: e.Error, Draining: draining})
 		}
-		return fmt.Errorf("daemon client: %s: %w", path, &StatusError{Code: r.StatusCode, Msg: string(bytes.TrimSpace(data))})
+		return fmt.Errorf("daemon client: %s: %w", path, &StatusError{Code: r.StatusCode, Msg: string(bytes.TrimSpace(data)), Draining: draining})
 	}
 	if err := json.Unmarshal(data, resp); err != nil {
 		return fmt.Errorf("daemon client: decoding %s reply: %w", path, err)
@@ -129,13 +153,13 @@ func (c *Client) target(workload string, scale int, fingerprint string) Target {
 // experiments.Context.Remote: fingerprint, when non-empty, is the
 // local suite's content hash (machine.Suite.Fingerprint), which the
 // daemon must match or refuse — pass "" to skip the content check.
-func (c *Client) Run(workload string, scale int, fingerprint string, pt sweep.Point) (*engine.Result, error) {
+func (c *Client) Run(ctx context.Context, workload string, scale int, fingerprint string, pt sweep.Point) (*engine.Result, error) {
 	wp, err := ToPoint(pt)
 	if err != nil {
 		return nil, err
 	}
 	var resp RunResponse
-	if err := c.post("/v1/run", RunRequest{Target: c.target(workload, scale, fingerprint), Point: wp}, &resp); err != nil {
+	if err := c.post(ctx, "/v1/run", RunRequest{Target: c.target(workload, scale, fingerprint), Point: wp}, &resp); err != nil {
 		return nil, err
 	}
 	if resp.Result == nil {
@@ -146,7 +170,7 @@ func (c *Client) Run(workload string, scale int, fingerprint string, pt sweep.Po
 
 // Sweep executes a batch of points on the daemon; Results[i] answers
 // pts[i].
-func (c *Client) Sweep(workload string, scale int, pts []sweep.Point) ([]*engine.Result, error) {
+func (c *Client) Sweep(ctx context.Context, workload string, scale int, pts []sweep.Point) ([]*engine.Result, error) {
 	wire := make([]Point, len(pts))
 	for i, pt := range pts {
 		wp, err := ToPoint(pt)
@@ -156,7 +180,7 @@ func (c *Client) Sweep(workload string, scale int, pts []sweep.Point) ([]*engine
 		wire[i] = wp
 	}
 	var resp SweepResponse
-	if err := c.post("/v1/sweep", SweepRequest{Target: c.target(workload, scale, ""), Points: wire}, &resp); err != nil {
+	if err := c.post(ctx, "/v1/sweep", SweepRequest{Target: c.target(workload, scale, ""), Points: wire}, &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.Results) != len(pts) {
@@ -170,7 +194,7 @@ func (c *Client) Sweep(workload string, scale int, pts []sweep.Point) ([]*engine
 // batch; the server 400s oversized requests with a non-retryable
 // refusal, so the split must happen here, where sweeps of any size
 // funnel through). Results[i] answers items[i].
-func (c *Client) BatchRun(items []RunRequest) ([]*engine.Result, error) {
+func (c *Client) BatchRun(ctx context.Context, items []RunRequest) ([]*engine.Result, error) {
 	out := make([]*engine.Result, 0, len(items))
 	for start := 0; start < len(items); start += MaxBatchItems {
 		end := start + MaxBatchItems
@@ -179,7 +203,7 @@ func (c *Client) BatchRun(items []RunRequest) ([]*engine.Result, error) {
 		}
 		chunk := items[start:end]
 		var resp BatchRunResponse
-		if err := c.post("/v1/batch/run", BatchRunRequest{Items: chunk}, &resp); err != nil {
+		if err := c.post(ctx, "/v1/batch/run", BatchRunRequest{Items: chunk}, &resp); err != nil {
 			return nil, err
 		}
 		if len(resp.Results) != len(chunk) {
@@ -201,7 +225,7 @@ func (c *Client) BatchRun(items []RunRequest) ([]*engine.Result, error) {
 // round trips; Results[i] answers items[i]. Each item's Target must be
 // set by the caller (use Client.Search for the single pinned-target
 // case).
-func (c *Client) BatchSearch(items []SearchRequest) ([]SearchResponse, error) {
+func (c *Client) BatchSearch(ctx context.Context, items []SearchRequest) ([]SearchResponse, error) {
 	out := make([]SearchResponse, 0, len(items))
 	for start := 0; start < len(items); start += MaxBatchItems {
 		end := start + MaxBatchItems
@@ -210,7 +234,7 @@ func (c *Client) BatchSearch(items []SearchRequest) ([]SearchResponse, error) {
 		}
 		chunk := items[start:end]
 		var resp BatchSearchResponse
-		if err := c.post("/v1/batch/search", BatchSearchRequest{Items: chunk}, &resp); err != nil {
+		if err := c.post(ctx, "/v1/batch/search", BatchSearchRequest{Items: chunk}, &resp); err != nil {
 			return nil, err
 		}
 		if len(resp.Results) != len(chunk) {
@@ -227,7 +251,7 @@ func (c *Client) BatchSearch(items []SearchRequest) ([]SearchResponse, error) {
 // it lets a local sweep or search submit a whole probe wave as one
 // request instead of one per point — the request-count collapse behind
 // repro -remote's batched mode (DESIGN.md §11).
-func (c *Client) RunBatch(workload string, scale int, fingerprint string, pts []sweep.Point) ([]*engine.Result, error) {
+func (c *Client) RunBatch(ctx context.Context, workload string, scale int, fingerprint string, pts []sweep.Point) ([]*engine.Result, error) {
 	target := c.target(workload, scale, fingerprint)
 	items := make([]RunRequest, len(pts))
 	for i, pt := range pts {
@@ -237,7 +261,7 @@ func (c *Client) RunBatch(workload string, scale int, fingerprint string, pts []
 		}
 		items[i] = RunRequest{Target: target, Point: wp}
 	}
-	return c.BatchRun(items)
+	return c.BatchRun(ctx, items)
 }
 
 // RatioBatch executes one curve of equivalent-window ratio searches
@@ -246,7 +270,7 @@ func (c *Client) RunBatch(workload string, scale int, fingerprint string, pts []
 // a few requests per figure instead of several per ratio point, with
 // answers identical to the local search by construction (the probe
 // path is a fixed function of its inputs — metrics.Search).
-func (c *Client) RatioBatch(workload string, scale int, fingerprint string, params []machine.Params) ([]experiments.RatioAnswer, error) {
+func (c *Client) RatioBatch(ctx context.Context, workload string, scale int, fingerprint string, params []machine.Params) ([]experiments.RatioAnswer, error) {
 	items := make([]SearchRequest, len(params))
 	for i, p := range params {
 		wp, err := ToParams(p)
@@ -255,7 +279,7 @@ func (c *Client) RatioBatch(workload string, scale int, fingerprint string, para
 		}
 		items[i] = SearchRequest{Target: c.target(workload, scale, fingerprint), Op: SearchRatio, Params: wp}
 	}
-	resp, err := c.BatchSearch(items)
+	resp, err := c.BatchSearch(ctx, items)
 	if err != nil {
 		return nil, err
 	}
@@ -267,37 +291,37 @@ func (c *Client) RatioBatch(workload string, scale int, fingerprint string, para
 }
 
 // Search runs one equivalent-window search on the daemon.
-func (c *Client) Search(workload string, scale int, req SearchRequest) (SearchResponse, error) {
+func (c *Client) Search(ctx context.Context, workload string, scale int, req SearchRequest) (SearchResponse, error) {
 	req.Target = c.target(workload, scale, "")
 	var resp SearchResponse
-	err := c.post("/v1/search", req, &resp)
+	err := c.post(ctx, "/v1/search", req, &resp)
 	return resp, err
 }
 
 // CacheStats fetches the daemon's cache counters.
-func (c *Client) CacheStats() (StatsResponse, error) {
+func (c *Client) CacheStats(ctx context.Context) (StatsResponse, error) {
 	var resp StatsResponse
-	err := c.get("/v1/cache/stats", &resp)
+	err := c.get(ctx, "/v1/cache/stats", &resp)
 	return resp, err
 }
 
 // GC asks the daemon to trim its store to the policy's bounds.
-func (c *Client) GC(pol sweep.GCPolicy) (sweep.GCResult, error) {
+func (c *Client) GC(ctx context.Context, pol sweep.GCPolicy) (sweep.GCResult, error) {
 	req := GCRequest{MaxEntries: pol.MaxEntries, MaxBytes: pol.MaxBytes}
 	if pol.MaxAge > 0 {
 		req.MaxAge = pol.MaxAge.String()
 	}
 	var resp sweep.GCResult
-	err := c.post("/v1/cache/gc", req, &resp)
+	err := c.post(ctx, "/v1/cache/gc", req, &resp)
 	return resp, err
 }
 
 // Health checks the daemon's liveness endpoint and that its engine
 // build matches this client's, so version skew surfaces at attach time
 // rather than per request.
-func (c *Client) Health() error {
+func (c *Client) Health(ctx context.Context) error {
 	var resp HealthResponse
-	if err := c.get("/healthz", &resp); err != nil {
+	if err := c.get(ctx, "/healthz", &resp); err != nil {
 		return err
 	}
 	if resp.Status != "ok" {
@@ -312,11 +336,11 @@ func (c *Client) Health() error {
 // WaitHealthy polls /healthz until the daemon answers or the deadline
 // passes — the startup handshake for scripts and tests that just
 // launched a sweepd.
-func (c *Client) WaitHealthy(timeout time.Duration) error {
+func (c *Client) WaitHealthy(ctx context.Context, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	var err error
 	for {
-		if err = c.Health(); err == nil {
+		if err = c.Health(ctx); err == nil {
 			return nil
 		}
 		if time.Now().After(deadline) {

@@ -1,6 +1,7 @@
 package daemon
 
 import (
+	"context"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -127,7 +128,7 @@ func TestRunEndpointMatchesLocalByteForByte(t *testing.T) {
 	t.Parallel()
 	_, client := newTestServer(t, Config{})
 	pt := sweep.Point{Kind: machine.DM, P: machine.Params{Window: 16, MD: 30}}
-	remote, err := client.Run(testWorkload, 1, "", pt)
+	remote, err := client.Run(context.Background(), testWorkload, 1, "", pt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,11 +151,11 @@ func TestSweepEndpointWarmRunHitsCache(t *testing.T) {
 			sweep.Point{Kind: machine.DM, P: machine.Params{Window: w, MD: 30}},
 			sweep.Point{Kind: machine.SWSM, P: machine.Params{Window: w, MD: 30}})
 	}
-	cold, err := client.Sweep(testWorkload, 1, pts)
+	cold, err := client.Sweep(context.Background(), testWorkload, 1, pts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := client.Sweep(testWorkload, 1, pts)
+	warm, err := client.Sweep(context.Background(), testWorkload, 1, pts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestSearchEndpointMatchesLocalSearch(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	resp, err := client.Search(testWorkload, 1, SearchRequest{Op: SearchRatio, Params: Params{Window: 16, MD: 30}})
+	resp, err := client.Search(context.Background(), testWorkload, 1, SearchRequest{Op: SearchRatio, Params: Params{Window: 16, MD: 30}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestSearchEndpointMatchesLocalSearch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wresp, err := client.Search(testWorkload, 1, SearchRequest{Op: SearchWindow, Params: Params{Window: 16, MD: 30}, TargetCycles: dm.Cycles})
+	wresp, err := client.Search(context.Background(), testWorkload, 1, SearchRequest{Op: SearchWindow, Params: Params{Window: 16, MD: 30}, TargetCycles: dm.Cycles})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestSearchEndpointMatchesLocalSearch(t *testing.T) {
 		t.Fatalf("window search %+v inconsistent with ratio %v", wresp, resp.Ratio)
 	}
 
-	xresp, err := client.Search(testWorkload, 1, SearchRequest{Op: SearchCrossover, Params: Params{MD: 0}, Windows: []int{4, 8, 16, 32, 64, 96, 128}})
+	xresp, err := client.Search(context.Background(), testWorkload, 1, SearchRequest{Op: SearchCrossover, Params: Params{MD: 0}, Windows: []int{4, 8, 16, 32, 64, 96, 128}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestGCEndpoint(t *testing.T) {
 		store.Put(fmt.Sprintf("key-%d", i), &engine.Result{Cycles: int64(i)})
 	}
 	_, client := newTestServer(t, Config{Store: store})
-	res, err := client.GC(sweep.GCPolicy{MaxEntries: 2})
+	res, err := client.GC(context.Background(), sweep.GCPolicy{MaxEntries: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,13 +258,13 @@ func TestGCEndpoint(t *testing.T) {
 	// Negative bounds must be refused, not silently treated as
 	// unbounded (every other GC entry point rejects them too).
 	var gcres sweep.GCResult
-	if err := client.post("/v1/cache/gc", map[string]any{"max_entries": -1}, &gcres); err == nil || !strings.Contains(err.Error(), "negative GC bound") {
+	if err := client.post(context.Background(), "/v1/cache/gc", map[string]any{"max_entries": -1}, &gcres); err == nil || !strings.Contains(err.Error(), "negative GC bound") {
 		t.Errorf("negative GC bound: %v", err)
 	}
 
 	// Without a store the endpoint must refuse, not no-op.
 	_, storeless := newTestServer(t, Config{})
-	if _, err := storeless.GC(sweep.GCPolicy{MaxEntries: 1}); err == nil || !strings.Contains(err.Error(), "no persistent store") {
+	if _, err := storeless.GC(context.Background(), sweep.GCPolicy{MaxEntries: 1}); err == nil || !strings.Contains(err.Error(), "no persistent store") {
 		t.Errorf("GC without store: %v", err)
 	}
 }
@@ -276,7 +277,7 @@ func TestSkewRefused(t *testing.T) {
 	t.Parallel()
 	_, client := newTestServer(t, Config{})
 	var resp RunResponse
-	err := client.post("/v1/run", RunRequest{
+	err := client.post(context.Background(), "/v1/run", RunRequest{
 		Target: Target{Workload: testWorkload, EngineVersion: "engine-v0"},
 		Point:  Point{Kind: "DM", Params: Params{Window: 8}},
 	}, &resp)
@@ -284,7 +285,7 @@ func TestSkewRefused(t *testing.T) {
 		t.Errorf("engine version skew should be refused with 409: %v", err)
 	}
 
-	if _, err := client.Run(testWorkload, 1, "deadbeef", sweep.Point{Kind: machine.DM, P: machine.Params{Window: 8}}); err == nil || !strings.Contains(err.Error(), "workload content skew") {
+	if _, err := client.Run(context.Background(), testWorkload, 1, "deadbeef", sweep.Point{Kind: machine.DM, P: machine.Params{Window: 8}}); err == nil || !strings.Contains(err.Error(), "workload content skew") {
 		t.Errorf("fingerprint skew should be refused: %v", err)
 	}
 
@@ -297,7 +298,7 @@ func TestSkewRefused(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Run(testWorkload, 1, suite.Fingerprint(), sweep.Point{Kind: machine.DM, P: machine.Params{Window: 8, MD: 10}}); err != nil {
+	if _, err := client.Run(context.Background(), testWorkload, 1, suite.Fingerprint(), sweep.Point{Kind: machine.DM, P: machine.Params{Window: 8, MD: 10}}); err != nil {
 		t.Errorf("matching fingerprint refused: %v", err)
 	}
 }
@@ -305,10 +306,10 @@ func TestSkewRefused(t *testing.T) {
 func TestHealthz(t *testing.T) {
 	t.Parallel()
 	_, client := newTestServer(t, Config{})
-	if err := client.Health(); err != nil {
+	if err := client.Health(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.WaitHealthy(time.Second); err != nil {
+	if err := client.WaitHealthy(context.Background(), time.Second); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -322,36 +323,36 @@ func TestBadRequests(t *testing.T) {
 		want string
 	}{
 		{"unknown workload", func() error {
-			_, err := client.Run("NOSUCH", 1, "", sweep.Point{Kind: machine.DM, P: machine.Params{Window: 8}})
+			_, err := client.Run(context.Background(), "NOSUCH", 1, "", sweep.Point{Kind: machine.DM, P: machine.Params{Window: 8}})
 			return err
 		}, "NOSUCH"},
 		{"bad kind", func() error {
 			var resp RunResponse
-			return client.post("/v1/run", RunRequest{Target: Target{Workload: testWorkload}, Point: Point{Kind: "VLIW"}}, &resp)
+			return client.post(context.Background(), "/v1/run", RunRequest{Target: Target{Workload: testWorkload}, Point: Point{Kind: "VLIW"}}, &resp)
 		}, "unknown machine kind"},
 		{"bad policy", func() error {
 			var resp RunResponse
-			return client.post("/v1/run", RunRequest{Target: Target{Workload: testWorkload, Policy: "random"}, Point: Point{Kind: "DM"}}, &resp)
+			return client.post(context.Background(), "/v1/run", RunRequest{Target: Target{Workload: testWorkload, Policy: "random"}, Point: Point{Kind: "DM"}}, &resp)
 		}, "unknown partition policy"},
 		{"bad retire", func() error {
 			var resp RunResponse
-			return client.post("/v1/run", RunRequest{Target: Target{Workload: testWorkload}, Point: Point{Kind: "DM", Params: Params{Retire: "never"}}}, &resp)
+			return client.post(context.Background(), "/v1/run", RunRequest{Target: Target{Workload: testWorkload}, Point: Point{Kind: "DM", Params: Params{Retire: "never"}}}, &resp)
 		}, "unknown retire policy"},
 		{"empty sweep", func() error {
-			_, err := client.Sweep(testWorkload, 1, nil)
+			_, err := client.Sweep(context.Background(), testWorkload, 1, nil)
 			return err
 		}, "no points"},
 		{"bad search op", func() error {
-			_, err := client.Search(testWorkload, 1, SearchRequest{Op: "median"})
+			_, err := client.Search(context.Background(), testWorkload, 1, SearchRequest{Op: "median"})
 			return err
 		}, "unknown search op"},
 		{"window search without target", func() error {
-			_, err := client.Search(testWorkload, 1, SearchRequest{Op: SearchWindow})
+			_, err := client.Search(context.Background(), testWorkload, 1, SearchRequest{Op: SearchWindow})
 			return err
 		}, "target_cycles"},
 		{"unknown field", func() error {
 			var resp RunResponse
-			return client.post("/v1/run", map[string]any{"workload": testWorkload, "kind": "DM", "paramz": map[string]any{}}, &resp)
+			return client.post(context.Background(), "/v1/run", map[string]any{"workload": testWorkload, "kind": "DM", "paramz": map[string]any{}}, &resp)
 		}, "unknown field"},
 	}
 	for _, tc := range cases {
@@ -381,7 +382,7 @@ func TestBatchRunEndpoint(t *testing.T) {
 		mk(testWorkload, "SWSM", 8),
 		mk(testWorkload, "DM", 8), // duplicate: single-flight, same answer
 	}
-	results, err := client.BatchRun(items)
+	results, err := client.BatchRun(context.Background(), items)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,11 +398,11 @@ func TestBatchRunEndpoint(t *testing.T) {
 	}
 
 	bad := append(items[:2:2], RunRequest{Target: Target{Workload: testWorkload}, Point: Point{Kind: "VLIW"}})
-	if _, err := client.BatchRun(bad); err == nil || !strings.Contains(err.Error(), "batch item 2") {
+	if _, err := client.BatchRun(context.Background(), bad); err == nil || !strings.Contains(err.Error(), "batch item 2") {
 		t.Errorf("bad item should fail the batch naming the index: %v", err)
 	}
 	skewed := []RunRequest{{Target: Target{Workload: testWorkload, EngineVersion: "engine-v0"}, Point: Point{Kind: "DM", Params: Params{Window: 8}}}}
-	if _, err := client.BatchRun(skewed); err == nil || !strings.Contains(err.Error(), "409") {
+	if _, err := client.BatchRun(context.Background(), skewed); err == nil || !strings.Contains(err.Error(), "409") {
 		t.Errorf("skewed item should 409 the batch: %v", err)
 	}
 }
@@ -417,12 +418,12 @@ func TestBatchSearchEndpoint(t *testing.T) {
 		{Target: target, Op: SearchCrossover, Params: Params{MD: 0}, Windows: []int{4, 8, 16, 32, 64, 96, 128}},
 		{Target: target, Op: SearchRatio, Params: Params{Window: 8, MD: 30}},
 	}
-	batched, err := client.BatchSearch(items)
+	batched, err := client.BatchSearch(context.Background(), items)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, item := range items {
-		single, err := client.Search(testWorkload, 1, SearchRequest{Op: item.Op, Params: item.Params, Windows: item.Windows})
+		single, err := client.Search(context.Background(), testWorkload, 1, SearchRequest{Op: item.Op, Params: item.Params, Windows: item.Windows})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -430,7 +431,7 @@ func TestBatchSearchEndpoint(t *testing.T) {
 			t.Errorf("batch item %d: %+v != point-wise %+v", i, batched[i], single)
 		}
 	}
-	if _, err := client.BatchSearch([]SearchRequest{{Target: target, Op: "median"}}); err == nil || !strings.Contains(err.Error(), "unknown search op") {
+	if _, err := client.BatchSearch(context.Background(), []SearchRequest{{Target: target, Op: "median"}}); err == nil || !strings.Contains(err.Error(), "unknown search op") {
 		t.Errorf("bad op in a batch: %v", err)
 	}
 }
@@ -446,7 +447,7 @@ func TestConcurrencyLimitQueues(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = client.Run(testWorkload, 1, "", sweep.Point{Kind: machine.DM, P: machine.Params{Window: 8 + i, MD: 10}})
+			_, errs[i] = client.Run(context.Background(), testWorkload, 1, "", sweep.Point{Kind: machine.DM, P: machine.Params{Window: 8 + i, MD: 10}})
 		}(i)
 	}
 	wg.Wait()
@@ -492,7 +493,9 @@ func TestRemoteContext(t *testing.T) {
 	localRes := run(localCtx)
 
 	remoteCtx := experiments.NewContext()
-	remoteCtx.Remote = client.Run
+	remoteCtx.Remote = func(workload string, scale int, fingerprint string, pt sweep.Point) (*engine.Result, error) {
+		return client.Run(context.Background(), workload, scale, fingerprint, pt)
+	}
 	remoteRes := run(remoteCtx)
 
 	if got, want := asJSON(t, remoteRes), asJSON(t, localRes); !bytes.Equal(got, want) {
@@ -512,7 +515,9 @@ func TestRemoteContext(t *testing.T) {
 	// A dead daemon must fail the run loudly, not fall back to local.
 	deadCtx := experiments.NewContext()
 	dead := NewClient("http://127.0.0.1:1")
-	deadCtx.Remote = dead.Run
+	deadCtx.Remote = func(workload string, scale int, fingerprint string, pt sweep.Point) (*engine.Result, error) {
+		return dead.Run(context.Background(), workload, scale, fingerprint, pt)
+	}
 	r, err := deadCtx.Runner(testWorkload)
 	if err != nil {
 		t.Fatal(err)
@@ -527,7 +532,7 @@ func TestRemoteContext(t *testing.T) {
 func TestStatsEndpointShape(t *testing.T) {
 	t.Parallel()
 	_, client := newTestServer(t, Config{})
-	if _, err := client.Run(testWorkload, 1, "", sweep.Point{Kind: machine.DM, P: machine.Params{Window: 8, MD: 10}}); err != nil {
+	if _, err := client.Run(context.Background(), testWorkload, 1, "", sweep.Point{Kind: machine.DM, P: machine.Params{Window: 8, MD: 10}}); err != nil {
 		t.Fatal(err)
 	}
 	hres, err := http.Get(client.BaseURL + "/v1/cache/stats")

@@ -1,11 +1,13 @@
 package daemon
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -24,15 +26,30 @@ import (
 // keyspace, and N replicas hold N disjoint warm caches instead of N
 // copies of one.
 //
-// Failures are survived, not hidden: a replica that refuses a request
-// for reasons that would repeat anywhere (4xx bad request, 409 skew)
-// fails the call loudly, while transport errors and 5xx — the
-// signatures of a dying or overloaded replica — mark it down for
-// Cooldown and retry the affected points on the next owners in ring
-// order (the members that would own those keys if the ring shrank,
-// see Ring.Owners), bounded by MaxAttempts distinct replicas per
-// point. When every candidate is marked down the marks are ignored
-// rather than failing without trying.
+// Failures are survived through an explicit ladder (DESIGN.md §13):
+//
+//   - Refusals that would repeat anywhere (4xx bad request, 409 skew)
+//     fail the call loudly, immediately.
+//   - Transport errors and 5xx — the signatures of a dying or
+//     overloaded replica — reroute the affected points to the next
+//     owners in ring order (Ring.Owners), bounded by MaxAttempts
+//     distinct replicas per point, with bounded exponential backoff
+//     (deterministically jittered) between retry rounds.
+//   - Each replica sits behind a circuit breaker: FailureThreshold
+//     consecutive failures open it, and while open the replica is
+//     skipped whenever another candidate exists. After Cooldown the
+//     breaker goes half-open and admits a single probe; success closes
+//     it (the replica rejoins the scatter loop at full traffic),
+//     failure re-opens it. When every candidate's breaker is open the
+//     marks are ignored rather than failing without trying.
+//   - A replica answering 503 with the DrainingHeader is shutting down
+//     cleanly: its work reroutes at once with no breaker penalty and
+//     no backoff round — draining is not a failure.
+//   - A point whose every candidate failed does not fail the whole
+//     call: batch calls return the results the surviving owners
+//     produced plus an error wrapping sweep.ErrUnavailable, which a
+//     Degrade-enabled sweep.Runner converts into last-resort local
+//     simulation.
 //
 // Run and RunBatch have the hook shapes of experiments.Context.Remote
 // and RemoteBatch; attaching both is repro -remote host1,host2,...
@@ -42,14 +59,52 @@ type FleetClient struct {
 	ring    *Ring
 
 	// MaxAttempts bounds how many distinct replicas one point is tried
-	// on before its call fails (0 = every replica).
+	// on before it is declared unavailable (0 = every replica).
 	MaxAttempts int
-	// Cooldown is how long a failed replica is deprioritized before
-	// being routed to again (default 2s). Marked-down replicas are
-	// skipped while healthy candidates remain, not banned.
+	// FailureThreshold is how many consecutive retryable failures open
+	// a replica's circuit breaker (default 3).
+	FailureThreshold int
+	// Cooldown is how long an open breaker waits before going
+	// half-open and admitting a recovery probe (default 2s).
 	Cooldown time.Duration
+	// BackoffBase and BackoffMax bound the exponential backoff between
+	// scatter rounds that saw retryable failures: round r sleeps
+	// jittered min(BackoffBase<<r, BackoffMax) (defaults 5ms, 500ms).
+	// The jitter is a pure function of BackoffSeed and the round, so a
+	// replayed chaos run waits the same schedule.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	BackoffSeed uint64
+	// HedgeDelay, when positive, arms tail-latency hedging on
+	// single-point calls (Run, Search — idempotent by determinism): if
+	// the owner has not answered within HedgeDelay, the same request
+	// is issued to the next candidate and the first success wins.
+	HedgeDelay time.Duration
 
-	downUntil []atomic.Int64 // unix nanos; 0 = healthy
+	breakers []breaker
+
+	// now and sleep are injectable for breaker and backoff tests.
+	now   func() time.Time
+	sleep func(time.Duration)
+
+	retries, breakerOpens, hedges, drainingReroutes, unavailable atomic.Int64
+}
+
+// FleetMetrics is a snapshot of a FleetClient's failure-handling
+// counters (repro -chaos-stats reports them).
+type FleetMetrics struct {
+	// Retries counts point-attempts rerouted after a retryable failure.
+	Retries int64 `json:"retries"`
+	// BreakerOpens counts closed/half-open -> open transitions.
+	BreakerOpens int64 `json:"breaker_opens"`
+	// Hedges counts secondary requests launched by HedgeDelay.
+	Hedges int64 `json:"hedges"`
+	// DrainingReroutes counts point-attempts rerouted off a cleanly
+	// draining replica (no failure charged).
+	DrainingReroutes int64 `json:"draining_reroutes"`
+	// Unavailable counts points that exhausted every candidate (the
+	// ones a Degrade runner simulates locally).
+	Unavailable int64 `json:"unavailable"`
 }
 
 // maxFleet bounds the replica count (per-point attempt sets are
@@ -82,19 +137,35 @@ func NewFleetClient(urls []string) (*FleetClient, error) {
 		clients[i] = NewClient(u)
 	}
 	return &FleetClient{
-		clients:   clients,
-		ring:      NewRing(members),
-		Cooldown:  2 * time.Second,
-		downUntil: make([]atomic.Int64, len(urls)),
+		clients:          clients,
+		ring:             NewRing(members),
+		FailureThreshold: 3,
+		Cooldown:         2 * time.Second,
+		BackoffBase:      5 * time.Millisecond,
+		BackoffMax:       500 * time.Millisecond,
+		breakers:         make([]breaker, len(urls)),
+		now:              time.Now,
+		sleep:            time.Sleep,
 	}, nil
 }
 
 // Clients returns the per-replica clients, index-aligned with the ring
-// members (for stats aggregation and tests).
+// members (for stats aggregation, transport wrapping and tests).
 func (f *FleetClient) Clients() []*Client { return f.clients }
 
 // Ring returns the routing ring.
 func (f *FleetClient) Ring() *Ring { return f.ring }
+
+// Metrics returns a snapshot of the failure-handling counters.
+func (f *FleetClient) Metrics() FleetMetrics {
+	return FleetMetrics{
+		Retries:          f.retries.Load(),
+		BreakerOpens:     f.breakerOpens.Load(),
+		Hedges:           f.hedges.Load(),
+		DrainingReroutes: f.drainingReroutes.Load(),
+		Unavailable:      f.unavailable.Load(),
+	}
+}
 
 func (f *FleetClient) maxAttempts() int {
 	if f.MaxAttempts > 0 && f.MaxAttempts < len(f.clients) {
@@ -103,20 +174,109 @@ func (f *FleetClient) maxAttempts() int {
 	return len(f.clients)
 }
 
-func (f *FleetClient) isDown(i int) bool {
-	return time.Now().UnixNano() < f.downUntil[i].Load()
-}
-
-func (f *FleetClient) markDown(i int) {
-	cd := f.Cooldown
-	if cd <= 0 {
-		cd = 2 * time.Second
+func (f *FleetClient) failureThreshold() int {
+	if f.FailureThreshold > 0 {
+		return f.FailureThreshold
 	}
-	f.downUntil[i].Store(time.Now().Add(cd).UnixNano())
+	return 3
 }
 
-func (f *FleetClient) markUp(i int) {
-	f.downUntil[i].Store(0)
+func (f *FleetClient) cooldown() time.Duration {
+	if f.Cooldown > 0 {
+		return f.Cooldown
+	}
+	return 2 * time.Second
+}
+
+// breakerState is a replica breaker's position in the
+// closed -> open -> half-open -> closed cycle.
+type breakerState uint8
+
+const (
+	bkClosed breakerState = iota
+	bkOpen
+	bkHalfOpen
+)
+
+// breaker is one replica's circuit breaker. All transitions happen
+// under mu; the FleetClient's now() supplies time so tests can drive
+// the cycle with a fake clock.
+type breaker struct {
+	mu      sync.Mutex
+	state   breakerState
+	fails   int       // consecutive retryable failures while closed
+	until   time.Time // open expiry; after it the breaker half-opens
+	probing bool      // half-open: the single probe slot is taken
+}
+
+// allow reports whether replica i may receive new work now. An expired
+// open breaker flips to half-open and admits exactly one probe; the
+// caller that gets true for a half-open breaker IS the probe and must
+// report its outcome via onSuccess/onFailure.
+func (f *FleetClient) allow(i int) bool {
+	b := &f.breakers[i]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case bkOpen:
+		if f.now().Before(b.until) {
+			return false
+		}
+		b.state = bkHalfOpen
+		b.probing = true
+		return true
+	case bkHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default:
+		return true
+	}
+}
+
+// onSuccess closes replica i's breaker: a successful call (or probe)
+// returns the replica to full traffic.
+func (f *FleetClient) onSuccess(i int) {
+	b := &f.breakers[i]
+	b.mu.Lock()
+	b.state, b.fails, b.probing = bkClosed, 0, false
+	b.mu.Unlock()
+}
+
+// onFailure records a retryable failure on replica i: a failed probe
+// re-opens the breaker, FailureThreshold consecutive failures open a
+// closed one, and a failed forced attempt on an already-open breaker
+// extends its cooldown.
+func (f *FleetClient) onFailure(i int) {
+	b := &f.breakers[i]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case bkHalfOpen:
+		b.state = bkOpen
+		b.probing = false
+		b.until = f.now().Add(f.cooldown())
+		f.breakerOpens.Add(1)
+	case bkClosed:
+		b.fails++
+		if b.fails >= f.failureThreshold() {
+			b.state = bkOpen
+			b.until = f.now().Add(f.cooldown())
+			f.breakerOpens.Add(1)
+		}
+	case bkOpen:
+		b.until = f.now().Add(f.cooldown())
+	}
+}
+
+// breakerIs reports replica i's current breaker state (tests).
+func (f *FleetClient) breakerIs(i int) breakerState {
+	b := &f.breakers[i]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
 }
 
 // retryable reports whether an error could be specific to one replica:
@@ -129,6 +289,33 @@ func retryable(err error) bool {
 	}
 	return true
 }
+
+// isDraining reports whether an error is a clean-drain refusal — the
+// replica is shutting down in an orderly way and the work should
+// reroute without a failure being charged.
+func isDraining(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Draining
+}
+
+// unavailableError reports points whose every candidate replica failed
+// or was exhausted. It wraps sweep.ErrUnavailable so a Degrade-enabled
+// Runner recognizes "nowhere left to retry" structurally and falls
+// back to local simulation; callers without that escape hatch see a
+// normal loud error.
+type unavailableError struct {
+	n    int
+	last error
+}
+
+func (e *unavailableError) Error() string {
+	if e.last == nil {
+		return fmt.Sprintf("daemon fleet: %d point(s) had no available replica: %v", e.n, sweep.ErrUnavailable)
+	}
+	return fmt.Sprintf("daemon fleet: %d point(s) failed on every candidate replica (%v): last error: %v", e.n, sweep.ErrUnavailable, e.last)
+}
+
+func (e *unavailableError) Unwrap() error { return sweep.ErrUnavailable }
 
 // routeKey is the ring key for a point: the cache identity of §9
 // (engine version | suite fingerprint | canonical params) widened with
@@ -144,13 +331,14 @@ func routeKey(workload string, scale int, fingerprint string, pt sweep.Point) (s
 }
 
 // pickCandidate returns the next replica to try for key: the first
-// owner in ring order that is neither tried nor marked down, else the
-// first untried owner regardless of down marks (stale marks must not
-// fail a call unattempted), else -1 when the attempt budget is spent.
+// owner in ring order that is untried and admitted by its breaker
+// (half-open admits one probe), else the first untried owner ignoring
+// breakers (stale opens must not fail a call unattempted), else -1
+// when the attempt budget is spent.
 func (f *FleetClient) pickCandidate(key string, tried uint64) int {
 	owners := f.ring.Owners(key, f.maxAttempts())
 	for _, o := range owners {
-		if tried&(1<<uint(o)) == 0 && !f.isDown(o) {
+		if tried&(1<<uint(o)) == 0 && f.allow(o) {
 			return o
 		}
 	}
@@ -162,31 +350,68 @@ func (f *FleetClient) pickCandidate(key string, tried uint64) int {
 	return -1
 }
 
+// backoffDelay is the sleep before retry round r (0-based): bounded
+// exponential growth with deterministic jitter in [d/2, d) drawn from
+// BackoffSeed — a pure function of (seed, round), so a replayed run
+// backs off identically.
+func (f *FleetClient) backoffDelay(round int) time.Duration {
+	base, max := f.BackoffBase, f.BackoffMax
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 500 * time.Millisecond
+	}
+	d := base
+	for i := 0; i < round && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// splitmix64 of (seed, round) -> fraction of d/2.
+	x := f.BackoffSeed + 0x9e3779b97f4a7c15*(uint64(round)+1)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	frac := float64(x>>11) / (1 << 53)
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
 // scatter drives the route-execute-retry loop for n items: each round
 // groups unsettled items by their next candidate replica, executes the
 // groups concurrently (exec owns delivering group idx's results), and
-// either settles a group, fails fast on a non-retryable error, or marks
-// the replica down and reroutes the group's items. Every round consumes
-// one attempt per unsettled item, so the loop terminates within
-// maxAttempts rounds.
-func (f *FleetClient) scatter(n int, keyOf func(int) string, exec func(replica int, idx []int) error) error {
+// per group either settles it, fails the whole call fast on a
+// non-retryable error, reroutes it off a draining replica penalty-free,
+// or charges the replica's breaker and reroutes. Rounds that saw real
+// failures are separated by backoffDelay. Every round consumes one
+// attempt per unsettled item, so the loop terminates within
+// maxAttempts rounds; items that exhaust their candidates are dropped
+// from the loop and reported at the end via an unavailableError (exec
+// never ran for them, so batch callers return partial results).
+func (f *FleetClient) scatter(ctx context.Context, n int, keyOf func(int) string, exec func(ctx context.Context, replica int, idx []int) error) error {
 	tried := make([]uint64, n)
 	remaining := make([]int, n)
 	for i := range remaining {
 		remaining[i] = i
 	}
+	var exhausted []int
 	var lastErr error
-	for len(remaining) > 0 {
+	for round := 0; len(remaining) > 0; round++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		groups := make(map[int][]int)
 		for _, i := range remaining {
 			c := f.pickCandidate(keyOf(i), tried[i])
 			if c < 0 {
-				if lastErr == nil {
-					return fmt.Errorf("daemon fleet: no replica available")
-				}
-				return fmt.Errorf("daemon fleet: %d points failed on every candidate replica, last error: %w", len(remaining), lastErr)
+				exhausted = append(exhausted, i)
+				continue
 			}
 			groups[c] = append(groups[c], i)
+		}
+		if len(groups) == 0 {
+			break
 		}
 		type outcome struct {
 			replica int
@@ -196,23 +421,35 @@ func (f *FleetClient) scatter(n int, keyOf func(int) string, exec func(replica i
 		outcomes := make(chan outcome, len(groups))
 		for replica, idx := range groups {
 			go func(replica int, idx []int) {
-				outcomes <- outcome{replica, idx, exec(replica, idx)}
+				outcomes <- outcome{replica, idx, exec(ctx, replica, idx)}
 			}(replica, idx)
 		}
 		var next []int
 		var fatal error
+		failed := false
 		for range groups {
 			o := <-outcomes
 			switch {
 			case o.err == nil:
-				f.markUp(o.replica)
+				f.onSuccess(o.replica)
+			case isDraining(o.err):
+				// Clean drain: reroute with no breaker charge and no
+				// backoff — the replica is fine, just leaving.
+				f.drainingReroutes.Add(int64(len(o.idx)))
+				lastErr = o.err
+				for _, i := range o.idx {
+					tried[i] |= 1 << uint(o.replica)
+				}
+				next = append(next, o.idx...)
 			case !retryable(o.err):
 				if fatal == nil {
 					fatal = o.err
 				}
 			default:
-				f.markDown(o.replica)
+				f.onFailure(o.replica)
+				f.retries.Add(int64(len(o.idx)))
 				lastErr = o.err
+				failed = true
 				for _, i := range o.idx {
 					tried[i] |= 1 << uint(o.replica)
 				}
@@ -222,29 +459,134 @@ func (f *FleetClient) scatter(n int, keyOf func(int) string, exec func(replica i
 		if fatal != nil {
 			return fatal
 		}
+		if err := ctx.Err(); err != nil {
+			// Caller cancellation must surface as such, never as
+			// unavailability (which Degrade would paper over).
+			return err
+		}
 		sort.Ints(next)
 		remaining = next
+		if failed && len(remaining) > 0 {
+			f.sleep(f.backoffDelay(round))
+		}
+	}
+	if len(exhausted) > 0 {
+		f.unavailable.Add(int64(len(exhausted)))
+		return &unavailableError{n: len(exhausted), last: lastErr}
 	}
 	return nil
 }
 
+// single executes one keyed call through the failure ladder. With
+// HedgeDelay armed it also hedges: the primary owner gets HedgeDelay
+// to answer before the same request is launched on the next candidate;
+// the first success wins and cancels the rest. exec must only publish
+// its result on success (and tolerate publishing from two goroutines —
+// hedged attempts compute identical results by determinism).
+func (f *FleetClient) single(ctx context.Context, key string, exec func(ctx context.Context, replica int) error) error {
+	if f.HedgeDelay <= 0 {
+		return f.scatter(ctx, 1, func(int) string { return key }, func(ctx context.Context, replica int, _ []int) error {
+			return exec(ctx, replica)
+		})
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type attempt struct {
+		replica int
+		err     error
+	}
+	results := make(chan attempt, maxFleet)
+	tried := uint64(0)
+	outstanding := 0
+	launch := func() bool {
+		c := f.pickCandidate(key, tried)
+		if c < 0 {
+			return false
+		}
+		tried |= 1 << uint(c)
+		outstanding++
+		go func() {
+			results <- attempt{c, exec(actx, c)}
+		}()
+		return true
+	}
+	if !launch() {
+		f.unavailable.Add(1)
+		return &unavailableError{n: 1}
+	}
+	timer := time.NewTimer(f.HedgeDelay)
+	defer timer.Stop()
+	hedgeArmed := true
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-timer.C:
+			hedgeArmed = false
+			if launch() {
+				f.hedges.Add(1)
+			}
+		case a := <-results:
+			outstanding--
+			switch {
+			case a.err == nil:
+				f.onSuccess(a.replica)
+				return nil
+			case errors.Is(a.err, context.Canceled):
+				// A loser cancelled by the winner never gets here (we
+				// return on first success); this is our own ctx dying.
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			case isDraining(a.err):
+				f.drainingReroutes.Add(1)
+				lastErr = a.err
+			case !retryable(a.err):
+				return a.err
+			default:
+				f.onFailure(a.replica)
+				f.retries.Add(1)
+				lastErr = a.err
+			}
+			// Replace the failed attempt immediately; backoff would
+			// defeat hedging's purpose (these calls are latency-bound).
+			if !launch() && outstanding == 0 {
+				f.unavailable.Add(1)
+				return &unavailableError{n: 1, last: lastErr}
+			}
+		}
+		if !hedgeArmed {
+			timer.Stop()
+		}
+	}
+}
+
 // Run executes one point on the replica owning its cache key, failing
-// over along the ring on replica-local errors. The signature matches
-// experiments.Context.Remote.
-func (f *FleetClient) Run(workload string, scale int, fingerprint string, pt sweep.Point) (*engine.Result, error) {
+// over along the ring (and hedging, when armed) on replica-local
+// errors. Bound to a workload it matches experiments.Context.Remote.
+func (f *FleetClient) Run(ctx context.Context, workload string, scale int, fingerprint string, pt sweep.Point) (*engine.Result, error) {
 	key, ok := routeKey(workload, scale, fingerprint, pt)
 	if !ok {
 		return nil, fmt.Errorf("daemon fleet: points with a custom memory model cannot be simulated remotely")
 	}
+	var mu sync.Mutex
 	var res *engine.Result
-	err := f.scatter(1, func(int) string { return key }, func(replica int, idx []int) error {
-		r, err := f.clients[replica].Run(workload, scale, fingerprint, pt)
+	err := f.single(ctx, key, func(ctx context.Context, replica int) error {
+		r, err := f.clients[replica].Run(ctx, workload, scale, fingerprint, pt)
 		if err == nil {
-			res = r
+			mu.Lock()
+			if res == nil {
+				res = r
+			}
+			mu.Unlock()
 		}
 		return err
 	})
-	return res, err
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // RunBatch executes a batch of points against one suite: points group
@@ -252,7 +594,13 @@ func (f *FleetClient) Run(workload string, scale int, fingerprint string, pt swe
 // trip, concurrently across replicas. Results[i] answers pts[i]. The
 // signature matches experiments.Context.RemoteBatch — this is how a
 // probe wave or figure sweep reaches the whole fleet in ≤N requests.
-func (f *FleetClient) RunBatch(workload string, scale int, fingerprint string, pts []sweep.Point) ([]*engine.Result, error) {
+//
+// Partial-batch semantics: when some points exhaust every candidate
+// the rest of the batch still settles; the returned slice carries the
+// survivors' results (nil for the unserved points) alongside an error
+// wrapping sweep.ErrUnavailable, which a Degrade-enabled Runner
+// converts into local simulation of exactly the nil slots.
+func (f *FleetClient) RunBatch(ctx context.Context, workload string, scale int, fingerprint string, pts []sweep.Point) ([]*engine.Result, error) {
 	keys := make([]string, len(pts))
 	for i, pt := range pts {
 		k, ok := routeKey(workload, scale, fingerprint, pt)
@@ -262,12 +610,12 @@ func (f *FleetClient) RunBatch(workload string, scale int, fingerprint string, p
 		keys[i] = k
 	}
 	out := make([]*engine.Result, len(pts))
-	err := f.scatter(len(pts), func(i int) string { return keys[i] }, func(replica int, idx []int) error {
+	err := f.scatter(ctx, len(pts), func(i int) string { return keys[i] }, func(ctx context.Context, replica int, idx []int) error {
 		sub := make([]sweep.Point, len(idx))
 		for j, i := range idx {
 			sub[j] = pts[i]
 		}
-		res, err := f.clients[replica].RunBatch(workload, scale, fingerprint, sub)
+		res, err := f.clients[replica].RunBatch(ctx, workload, scale, fingerprint, sub)
 		if err != nil {
 			return err
 		}
@@ -277,6 +625,9 @@ func (f *FleetClient) RunBatch(workload string, scale int, fingerprint string, p
 		return nil
 	})
 	if err != nil {
+		if errors.Is(err, sweep.ErrUnavailable) {
+			return out, err // partial: settled slots are valid
+		}
 		return nil, err
 	}
 	return out, nil
@@ -293,14 +644,20 @@ func searchKey(workload string, scale int, req SearchRequest) string {
 }
 
 // Search runs one server-side search on the replica owning it, with
-// the same failover as Run.
-func (f *FleetClient) Search(workload string, scale int, req SearchRequest) (SearchResponse, error) {
+// the same failover (and hedging) as Run.
+func (f *FleetClient) Search(ctx context.Context, workload string, scale int, req SearchRequest) (SearchResponse, error) {
 	key := searchKey(workload, scale, req)
+	var mu sync.Mutex
 	var res SearchResponse
-	err := f.scatter(1, func(int) string { return key }, func(replica int, idx []int) error {
-		r, err := f.clients[replica].Search(workload, scale, req)
+	var settled bool
+	err := f.single(ctx, key, func(ctx context.Context, replica int) error {
+		r, err := f.clients[replica].Search(ctx, workload, scale, req)
 		if err == nil {
-			res = r
+			mu.Lock()
+			if !settled {
+				res, settled = r, true
+			}
+			mu.Unlock()
 		}
 		return err
 	})
@@ -311,8 +668,11 @@ func (f *FleetClient) Search(workload string, scale int, req SearchRequest) (Sea
 // group by owning replica, one /v1/batch/search round trip per group.
 // Results[i] answers items[i]; each item's Target is pinned to this
 // build's engine version (and the suite fingerprint when known) like
-// the point-wise paths.
-func (f *FleetClient) BatchSearch(workload string, scale int, fingerprint string, reqs []SearchRequest) ([]SearchResponse, error) {
+// the point-wise paths. Unlike RunBatch there is no partial return —
+// a search with unavailable owners fails with sweep.ErrUnavailable and
+// the caller (experiments.RatioFigure with Degrade) falls back to the
+// local search path wholesale.
+func (f *FleetClient) BatchSearch(ctx context.Context, workload string, scale int, fingerprint string, reqs []SearchRequest) ([]SearchResponse, error) {
 	// Work on a copy: stamping targets must not scribble on the
 	// caller's slice.
 	items := append([]SearchRequest(nil), reqs...)
@@ -325,12 +685,12 @@ func (f *FleetClient) BatchSearch(workload string, scale int, fingerprint string
 		keys[i] = searchKey(workload, scale, items[i])
 	}
 	out := make([]SearchResponse, len(items))
-	err := f.scatter(len(items), func(i int) string { return keys[i] }, func(replica int, idx []int) error {
+	err := f.scatter(ctx, len(items), func(i int) string { return keys[i] }, func(ctx context.Context, replica int, idx []int) error {
 		sub := make([]SearchRequest, len(idx))
 		for j, i := range idx {
 			sub[j] = items[i]
 		}
-		res, err := f.clients[replica].BatchSearch(sub)
+		res, err := f.clients[replica].BatchSearch(ctx, sub)
 		if err != nil {
 			return err
 		}
@@ -349,7 +709,7 @@ func (f *FleetClient) BatchSearch(workload string, scale int, fingerprint string
 // across the fleet, grouped by owning replica — the fleet counterpart
 // of Client.RatioBatch, with the same experiments.Context.RemoteSearch
 // signature and the scatter loop's failover.
-func (f *FleetClient) RatioBatch(workload string, scale int, fingerprint string, params []machine.Params) ([]experiments.RatioAnswer, error) {
+func (f *FleetClient) RatioBatch(ctx context.Context, workload string, scale int, fingerprint string, params []machine.Params) ([]experiments.RatioAnswer, error) {
 	items := make([]SearchRequest, len(params))
 	for i, p := range params {
 		wp, err := ToParams(p)
@@ -358,7 +718,7 @@ func (f *FleetClient) RatioBatch(workload string, scale int, fingerprint string,
 		}
 		items[i] = SearchRequest{Op: SearchRatio, Params: wp}
 	}
-	resp, err := f.BatchSearch(workload, scale, fingerprint, items)
+	resp, err := f.BatchSearch(ctx, workload, scale, fingerprint, items)
 	if err != nil {
 		return nil, err
 	}
@@ -369,16 +729,17 @@ func (f *FleetClient) RatioBatch(workload string, scale int, fingerprint string,
 	return answers, nil
 }
 
-// Health checks every replica: alive, engine version matching this
-// build, unique replica IDs, and — when a daemon advertises its -fleet
-// membership — a member list agreeing with this client's ring, since
-// clients and replicas disagreeing on membership would route the same
-// key to different owners and silently split the fleet's cache.
-func (f *FleetClient) Health() error {
+// Health checks every replica: alive and not draining, engine version
+// matching this build, unique replica IDs, and — when a daemon
+// advertises its -fleet membership — a member list agreeing with this
+// client's ring, since clients and replicas disagreeing on membership
+// would route the same key to different owners and silently split the
+// fleet's cache.
+func (f *FleetClient) Health(ctx context.Context) error {
 	ids := make(map[string]int)
 	for i, c := range f.clients {
 		var resp HealthResponse
-		if err := c.get("/healthz", &resp); err != nil {
+		if err := c.get(ctx, "/healthz", &resp); err != nil {
 			return fmt.Errorf("daemon fleet: replica %d (%s): %w", i, c.BaseURL, err)
 		}
 		if resp.Status != "ok" {
@@ -427,14 +788,17 @@ func sameMembers(a, b []string) bool {
 }
 
 // WaitHealthy polls until every replica passes Health or the deadline
-// passes — the startup handshake for scripts that just launched a
-// fleet.
-func (f *FleetClient) WaitHealthy(timeout time.Duration) error {
+// (or ctx) expires — the startup handshake for scripts that just
+// launched a fleet.
+func (f *FleetClient) WaitHealthy(ctx context.Context, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	var err error
 	for {
-		if err = f.Health(); err == nil {
+		if err = f.Health(ctx); err == nil {
 			return nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("daemon fleet: not healthy after %s: %w", timeout, err)
@@ -445,10 +809,10 @@ func (f *FleetClient) WaitHealthy(timeout time.Duration) error {
 
 // CacheStats fetches every replica's cache counters, index-aligned
 // with the ring members.
-func (f *FleetClient) CacheStats() ([]StatsResponse, error) {
+func (f *FleetClient) CacheStats(ctx context.Context) ([]StatsResponse, error) {
 	out := make([]StatsResponse, len(f.clients))
 	for i, c := range f.clients {
-		s, err := c.CacheStats()
+		s, err := c.CacheStats(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("daemon fleet: replica %d (%s): %w", i, c.BaseURL, err)
 		}

@@ -1,6 +1,7 @@
 package daemon
 
 import (
+	"context"
 	"bytes"
 	"fmt"
 	"net/http"
@@ -51,9 +52,15 @@ func newFleet(t *testing.T, n int, mkcfg func(i int) Config, wrap func(i int, h 
 // attached to the fleet — the repro -remote url1,url2,... wiring.
 func fleetContext(fleet *FleetClient) *experiments.Context {
 	ctx := experiments.NewContext()
-	ctx.Remote = fleet.Run
-	ctx.RemoteBatch = fleet.RunBatch
-	ctx.RemoteSearch = fleet.RatioBatch
+	ctx.Remote = func(workload string, scale int, fingerprint string, pt sweep.Point) (*engine.Result, error) {
+		return fleet.Run(context.Background(), workload, scale, fingerprint, pt)
+	}
+	ctx.RemoteBatch = func(workload string, scale int, fingerprint string, pts []sweep.Point) ([]*engine.Result, error) {
+		return fleet.RunBatch(context.Background(), workload, scale, fingerprint, pts)
+	}
+	ctx.RemoteSearch = func(workload string, scale int, fingerprint string, params []machine.Params) ([]experiments.RatioAnswer, error) {
+		return fleet.RatioBatch(context.Background(), workload, scale, fingerprint, params)
+	}
 	return ctx
 }
 
@@ -198,7 +205,7 @@ func TestFleetFailoverMidSweep(t *testing.T) {
 		if end > len(pts) {
 			end = len(pts)
 		}
-		res, err := fleet.RunBatch(testWorkload, 1, suite.Fingerprint(), pts[i:end])
+		res, err := fleet.RunBatch(context.Background(), testWorkload, 1, suite.Fingerprint(), pts[i:end])
 		if err != nil {
 			t.Fatalf("wave %d: fleet sweep did not survive the replica death: %v", i/6, err)
 		}
@@ -232,7 +239,7 @@ func TestFleetDeadReplicaFromStart(t *testing.T) {
 	for _, w := range []int{8, 16, 24, 32, 40, 48} {
 		pts = append(pts, sweep.Point{Kind: machine.SWSM, P: machine.Params{Window: w, MD: 20}})
 	}
-	res, err := fleet.RunBatch(testWorkload, 1, suite.Fingerprint(), pts)
+	res, err := fleet.RunBatch(context.Background(), testWorkload, 1, suite.Fingerprint(), pts)
 	if err != nil {
 		t.Fatalf("fleet with a dead replica failed the sweep: %v", err)
 	}
@@ -250,7 +257,7 @@ func TestFleetDeadReplicaFromStart(t *testing.T) {
 func TestFleetSkewNotRetried(t *testing.T) {
 	t.Parallel()
 	fleet, servers, _ := newFleet(t, 3, nil, nil)
-	_, err := fleet.Run(testWorkload, 1, "deadbeef", sweep.Point{Kind: machine.DM, P: machine.Params{Window: 8}})
+	_, err := fleet.Run(context.Background(), testWorkload, 1, "deadbeef", sweep.Point{Kind: machine.DM, P: machine.Params{Window: 8}})
 	if err == nil || !strings.Contains(err.Error(), "workload content skew") {
 		t.Fatalf("fingerprint skew should surface immediately: %v", err)
 	}
@@ -272,24 +279,24 @@ func TestFleetMembershipGuards(t *testing.T) {
 	fleet, _, _ := newFleet(t, 2, func(i int) Config {
 		return Config{ReplicaID: fmt.Sprintf("r%d", i)}
 	}, nil)
-	if err := fleet.Health(); err != nil {
+	if err := fleet.Health(context.Background()); err != nil {
 		t.Fatalf("healthy fleet refused: %v", err)
 	}
-	if err := fleet.WaitHealthy(time.Second); err != nil {
+	if err := fleet.WaitHealthy(context.Background(), time.Second); err != nil {
 		t.Fatalf("WaitHealthy on a healthy fleet: %v", err)
 	}
 
 	skewed, _, _ := newFleet(t, 2, func(i int) Config {
 		return Config{Fleet: []string{"http://other-a:1", "http://other-b:2"}}
 	}, nil)
-	if err := skewed.Health(); err == nil || !strings.Contains(err.Error(), "membership skew") {
+	if err := skewed.Health(context.Background()); err == nil || !strings.Contains(err.Error(), "membership skew") {
 		t.Errorf("advertised-membership mismatch should be refused: %v", err)
 	}
 
 	dup, _, _ := newFleet(t, 2, func(i int) Config {
 		return Config{ReplicaID: "same"}
 	}, nil)
-	if err := dup.Health(); err == nil || !strings.Contains(err.Error(), "replica id") {
+	if err := dup.Health(context.Background()); err == nil || !strings.Contains(err.Error(), "replica id") {
 		t.Errorf("duplicate replica ids should be refused: %v", err)
 	}
 
@@ -323,7 +330,10 @@ func TestFleetBatchedSearchRequestSavings(t *testing.T) {
 	// Point-wise: a local search whose probes each travel alone.
 	pwFleet, pwServers, _ := newFleet(t, 3, nil, nil)
 	pwCtx := experiments.NewContext()
-	pwCtx.Remote = pwFleet.Run // no RemoteBatch, no RemoteSearch
+	// No RemoteBatch, no RemoteSearch: each probe travels alone.
+	pwCtx.Remote = func(workload string, scale int, fingerprint string, pt sweep.Point) (*engine.Result, error) {
+		return pwFleet.Run(context.Background(), workload, scale, fingerprint, pt)
+	}
 	pwRunner, err := pwCtx.Runner(testWorkload)
 	if err != nil {
 		t.Fatal(err)
@@ -345,7 +355,7 @@ func TestFleetBatchedSearchRequestSavings(t *testing.T) {
 	for i, w := range windows {
 		params[i] = machine.Params{Window: w, MD: md}
 	}
-	bAnswers, err := bFleet.RatioBatch(testWorkload, 1, suiteFP, params)
+	bAnswers, err := bFleet.RatioBatch(context.Background(), testWorkload, 1, suiteFP, params)
 	if err != nil {
 		t.Fatal(err)
 	}

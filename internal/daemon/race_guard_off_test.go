@@ -1,0 +1,6 @@
+//go:build !race
+
+package daemon
+
+// raceEnabled is false in normal builds; see race_guard_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package daemon
+
+// raceEnabled mirrors internal/engine's race guard: the full-figure
+// chaos soaks multiply simulation work past what the race detector's
+// ~10x slowdown tolerates in CI, so they skip under -race (the race
+// job still runs every unit-level breaker, scatter and replay test).
+const raceEnabled = true

@@ -66,6 +66,7 @@ type Server struct {
 	contexts map[suiteKey]*experiments.Context
 
 	requests atomic.Int64
+	draining atomic.Bool
 }
 
 // suiteKey identifies one experiments.Context: runners are cached per
@@ -169,11 +170,28 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// BeginDrain marks the daemon as draining: /healthz advertises
+// "draining" and simulation endpoints refuse new work with 503 plus
+// the DrainingHeader marker, so fleet clients reroute immediately and
+// without charging a failure — distinct from dead. In-flight requests
+// are unaffected; call this just before http.Server.Shutdown (with a
+// short grace window so keep-alive clients observe the state rather
+// than a closed listener — sweepd -drain-grace).
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // throttle wraps a simulation handler with the admission semaphore and
 // the request timeout.
 func (s *Server) throttle(h http.HandlerFunc) http.Handler {
 	limited := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
+		if s.draining.Load() {
+			w.Header().Set(DrainingHeader, DrainingValue)
+			writeError(w, http.StatusServiceUnavailable, errors.New("daemon: draining: not accepting new work"))
+			return
+		}
 		if s.sem != nil {
 			select {
 			case s.sem <- struct{}{}:
@@ -226,8 +244,12 @@ func decode(r *http.Request, v any) error {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = DrainingValue
+	}
 	writeJSON(w, HealthResponse{
-		Status: "ok", EngineVersion: engine.Version,
+		Status: status, EngineVersion: engine.Version,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		ReplicaID:     s.cfg.ReplicaID, Fleet: s.cfg.Fleet,
 	})

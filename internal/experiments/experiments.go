@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -70,6 +71,18 @@ type Context struct {
 	// this signature (repro -remote attaches it unless
 	// -remote-batch=false). Set it before the first experiment runs.
 	RemoteSearch func(workload string, scale int, fingerprint string, params []machine.Params) ([]RatioAnswer, error)
+	// Degrade, when set, arms every runner's last-resort fallback: a
+	// Remote/RemoteBatch call failing with sweep.ErrUnavailable (every
+	// candidate replica down or exhausted — daemon.FleetClient reports
+	// exactly that) is answered by simulating the affected points
+	// locally instead of failing the experiment, counted under
+	// CacheStats.Degraded. RemoteSearch curves fall back to the local
+	// search path wholesale under the same condition. Results are
+	// byte-identical either way — local and remote execution are the
+	// same deterministic function — so repro -remote completes even
+	// with the whole fleet down (repro -degrade=false to fail loudly
+	// instead). Set it before the first experiment runs.
+	Degrade bool
 
 	mu         sync.Mutex
 	runners    map[string]*runnerEntry
@@ -128,6 +141,7 @@ func (c *Context) buildRunner(name string) (*sweep.Runner, error) {
 	r := sweep.NewRunner(suite)
 	r.Parallelism = c.Parallelism
 	r.Store = c.Cache
+	r.Degrade = c.Degrade
 	if c.Remote != nil {
 		remote, scale, fp := c.Remote, c.Scale, suite.Fingerprint()
 		r.Remote = func(pt sweep.Point) (*engine.Result, error) {
@@ -368,14 +382,49 @@ func (c *Context) RatioFigure(name string) (*RatioResult, error) {
 	res := &RatioResult{Number: num, Workload: name, Saturated: map[int][]int{}}
 	res.Series = make([]sweep.Series, len(RatioMDs))
 	par := c.par()
+	var mu sync.Mutex // guards res.Saturated
+	// localCurve measures one MD curve through the local search path.
+	// Every probe routes through the shared Runner, so curves share
+	// memoized DM anchors and SWSM probes with each other and with
+	// other sweeps. Each curve's probe fan-out gets a slice of the
+	// pool; the division overcommits slightly (searches spend time
+	// between waves) rather than letting finished curves idle the pool.
+	searchPar := 2 * par / len(RatioMDs)
+	if searchPar < 1 {
+		searchPar = 1
+	}
+	localCurve := func(mi int) error {
+		md := RatioMDs[mi]
+		search := metrics.NewSearch(r)
+		search.Parallelism = searchPar
+		s := sweep.Series{Name: fmt.Sprintf("md=%d", md)}
+		for _, w := range RatioWindows {
+			ratio, ok, err := search.EquivalentWindowRatio(machine.Params{Window: w, MD: md})
+			if err != nil {
+				return err
+			}
+			if !ok {
+				mu.Lock()
+				res.Saturated[md] = append(res.Saturated[md], w)
+				mu.Unlock()
+				continue
+			}
+			s.X = append(s.X, float64(w))
+			s.Y = append(s.Y, ratio)
+		}
+		res.Series[mi] = s
+		return nil
+	}
 	// With a remote search service attached, each MD curve travels as
 	// one server-side batch: the daemon runs the same deterministic
 	// searches over its own shared cache, so a whole figure costs a few
 	// round trips instead of one per probe wave — and the values are
-	// identical to the local path by construction.
+	// identical to the local path by construction. A curve whose owners
+	// are all unavailable falls back to localCurve wholesale when
+	// Degrade is set: the probes then flow through the runner, whose
+	// own Degrade fallback absorbs any remaining point-level outage.
 	if c.RemoteSearch != nil {
 		fp := r.Suite.Fingerprint()
-		var mu sync.Mutex // guards res.Saturated
 		if err := forEach(par, len(RatioMDs), func(mi int) error {
 			md := RatioMDs[mi]
 			params := make([]machine.Params, len(RatioWindows))
@@ -384,6 +433,9 @@ func (c *Context) RatioFigure(name string) (*RatioResult, error) {
 			}
 			answers, err := c.RemoteSearch(name, c.Scale, fp, params)
 			if err != nil {
+				if c.Degrade && errors.Is(err, sweep.ErrUnavailable) {
+					return localCurve(mi)
+				}
 				return err
 			}
 			if len(answers) != len(params) {
@@ -408,41 +460,10 @@ func (c *Context) RatioFigure(name string) (*RatioResult, error) {
 		}
 		return res, nil
 	}
-	// The MD curves are independent, so they fan out across the pool: one
-	// goroutine and one Search per curve (a Search parallelizes
-	// internally but is not safe for concurrent use). Every probe routes
-	// through the shared Runner, so curves still share memoized DM
-	// anchors and SWSM probes with each other and with other sweeps. Each
-	// curve's probe fan-out gets a slice of the pool; the division
-	// overcommits slightly (searches spend time between waves) rather
-	// than letting finished curves idle the pool.
-	searchPar := 2 * par / len(RatioMDs)
-	if searchPar < 1 {
-		searchPar = 1
-	}
-	var mu sync.Mutex // guards res.Saturated
-	if err := forEach(par, len(RatioMDs), func(mi int) error {
-		md := RatioMDs[mi]
-		search := metrics.NewSearch(r)
-		search.Parallelism = searchPar
-		s := sweep.Series{Name: fmt.Sprintf("md=%d", md)}
-		for _, w := range RatioWindows {
-			ratio, ok, err := search.EquivalentWindowRatio(machine.Params{Window: w, MD: md})
-			if err != nil {
-				return err
-			}
-			if !ok {
-				mu.Lock()
-				res.Saturated[md] = append(res.Saturated[md], w)
-				mu.Unlock()
-				continue
-			}
-			s.X = append(s.X, float64(w))
-			s.Y = append(s.Y, ratio)
-		}
-		res.Series[mi] = s
-		return nil
-	}); err != nil {
+	// The MD curves are independent, so they fan out across the pool:
+	// one goroutine and one Search per curve (a Search parallelizes
+	// internally but is not safe for concurrent use).
+	if err := forEach(par, len(RatioMDs), localCurve); err != nil {
 		return nil, err
 	}
 	return res, nil

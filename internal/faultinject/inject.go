@@ -1,0 +1,106 @@
+package faultinject
+
+import (
+	"sort"
+	"sync"
+)
+
+// Event is one recorded fault decision: operation Index within Scope
+// was assigned Kind (None events are recorded too — the trace is the
+// complete per-scope operation log, which is what makes two runs
+// comparable).
+type Event struct {
+	Scope string `json:"scope"`
+	Index uint64 `json:"index"`
+	Kind  string `json:"kind"`
+}
+
+// Counts aggregates an injector's decisions by kind. Ops is the total
+// number of operations seen (faulted or not) — the chaos smoke derives
+// retry amplification from it.
+type Counts struct {
+	Ops         int64 `json:"ops"`
+	Faults      int64 `json:"faults"`
+	Refuse      int64 `json:"refuse"`
+	Timeout     int64 `json:"timeout"`
+	Slow        int64 `json:"slow"`
+	Truncate    int64 `json:"truncate"`
+	Corrupt     int64 `json:"corrupt"`
+	ServerError int64 `json:"server_error"`
+}
+
+// Injector assigns per-scope operation indices and evaluates a
+// Schedule against them, recording every decision. One Injector is
+// shared by all the transports and store hooks of a chaos run so its
+// trace is the run's complete fault log. Safe for concurrent use; for
+// a reproducible trace the caller must also make the per-scope
+// operation order deterministic (run with parallelism 1 — each scope's
+// counter then sees the same sequence every run).
+type Injector struct {
+	sched Schedule
+
+	mu     sync.Mutex
+	next   map[string]uint64
+	events []Event
+	counts Counts
+}
+
+// NewInjector returns an Injector evaluating sched.
+func NewInjector(sched Schedule) *Injector {
+	return &Injector{sched: sched, next: make(map[string]uint64)}
+}
+
+// Next claims the next operation index for scope and returns the
+// schedule's decision for it.
+func (in *Injector) Next(scope string) Decision {
+	in.mu.Lock()
+	i := in.next[scope]
+	in.next[scope] = i + 1
+	d := in.sched.Decide(scope, i)
+	in.events = append(in.events, Event{Scope: scope, Index: i, Kind: d.Kind.String()})
+	in.counts.Ops++
+	switch d.Kind {
+	case Refuse:
+		in.counts.Refuse++
+	case Timeout:
+		in.counts.Timeout++
+	case Slow:
+		in.counts.Slow++
+	case Truncate:
+		in.counts.Truncate++
+	case Corrupt:
+		in.counts.Corrupt++
+	case ServerError:
+		in.counts.ServerError++
+	}
+	if d.Kind != None {
+		in.counts.Faults++
+	}
+	in.mu.Unlock()
+	return d
+}
+
+// Trace returns the decisions so far, sorted by (scope, index) so two
+// runs of the same schedule compare equal regardless of the arrival
+// interleaving across scopes.
+func (in *Injector) Trace() []Event {
+	in.mu.Lock()
+	out := make([]Event, len(in.events))
+	copy(out, in.events)
+	in.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Scope != out[j].Scope {
+			return out[i].Scope < out[j].Scope
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// Counts returns a snapshot of the decision counters.
+func (in *Injector) Counts() Counts {
+	in.mu.Lock()
+	c := in.counts
+	in.mu.Unlock()
+	return c
+}

@@ -1,0 +1,102 @@
+package faultinject
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// FaultError is a synthesized transport failure. It implements
+// net.Error so an injected timeout is indistinguishable from a real
+// one to callers that type-check.
+type FaultError struct {
+	Kind Kind
+}
+
+func (e *FaultError) Error() string   { return "faultinject: injected " + e.Kind.String() }
+func (e *FaultError) Timeout() bool   { return e.Kind == Timeout }
+func (e *FaultError) Temporary() bool { return true }
+
+// Transport wraps an http.RoundTripper with schedule-driven faults:
+// every request through it is one operation on Scope. Refuse, Timeout
+// and ServerError are synthesized before any wire traffic (a virtual
+// timeout burns no wall clock); Slow sleeps the rule's delay and
+// passes through; Truncate and Corrupt let the real response arrive
+// and then damage its body. Wrap a replica client's transport with
+// Scope "r<i>" to chaos that replica.
+type Transport struct {
+	// Base is the wrapped transport; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// Injector supplies decisions; required.
+	Injector *Injector
+	// Scope names this transport's operation stream, e.g. "r0".
+	Scope string
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.Injector.Next(t.Scope)
+	switch d.Kind {
+	case Refuse, Timeout:
+		return nil, &FaultError{Kind: d.Kind}
+	case ServerError:
+		body := `{"error":"faultinject: injected server error"}`
+		return &http.Response{
+			Status:        "503 Service Unavailable",
+			StatusCode:    http.StatusServiceUnavailable,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case Slow:
+		time.Sleep(d.Delay)
+	}
+	resp, err := t.base().RoundTrip(req)
+	if err != nil || (d.Kind != Truncate && d.Kind != Corrupt) {
+		return resp, err
+	}
+	data, rerr := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	data = Mangle(d, data)
+	resp.Body = io.NopCloser(bytes.NewReader(data))
+	resp.ContentLength = int64(len(data))
+	resp.Header.Set("Content-Length", strconv.Itoa(len(data)))
+	return resp, nil
+}
+
+// Mangle applies a Truncate or Corrupt decision to a payload copy and
+// returns it; other kinds return data unchanged. Corrupt writes 0x00 —
+// invalid anywhere in JSON — so the damage always surfaces as a decode
+// error instead of silently altering a value.
+func Mangle(d Decision, data []byte) []byte {
+	if len(data) == 0 {
+		return data
+	}
+	switch d.Kind {
+	case Truncate:
+		cut := int(d.Roll % uint64(len(data)))
+		return append([]byte(nil), data[:cut]...)
+	case Corrupt:
+		out := append([]byte(nil), data...)
+		out[int(d.Roll%uint64(len(out)))] = 0x00
+		return out
+	}
+	return data
+}

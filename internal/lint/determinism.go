@@ -34,6 +34,10 @@ var DefaultDeterminismPaths = []string{
 	"daesim/internal/trace",
 	"daesim/internal/memsys",
 	"daesim/internal/plot",
+	// faultinject's whole contract is determinism: a chaos schedule must
+	// replay identically from its seed, so the package is held to the
+	// same standard as the result-affecting pipeline.
+	"daesim/internal/faultinject",
 }
 
 // nondetCalls are functions whose results depend on the host, the clock

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -30,10 +31,35 @@ import (
 //
 // A Store is safe for concurrent use by multiple goroutines and multiple
 // processes.
+//
+// Damage is tolerated but not forgiven forever: a key whose blob reads
+// corrupt twice in one process is quarantined — the blob is renamed to
+// *.corrupt (kept as evidence, invisible to Get, Len and GC, which
+// only consider .json entries) and the key stops being cached at all,
+// so a persistently bad blob (failing disk sector, hostile writer)
+// cannot trap the store in a heal/re-corrupt loop.
 type Store struct {
 	dir string
 
-	hits, misses, writes, corrupt, writeErrs, gcEvictions atomic.Int64
+	// Faults, when non-nil, intercepts the raw blob bytes of every read
+	// and write — the hook internal/faultinject's StoreFaults drives in
+	// chaos tests. Set before first use; leave nil in production.
+	Faults BlobFaults
+
+	hits, misses, writes, corrupt, writeErrs, gcEvictions, quarantines atomic.Int64
+
+	qmu         sync.Mutex
+	corruptSeen map[string]int
+	quarantined map[string]bool
+}
+
+// BlobFaults intercepts a Store's blob I/O for fault injection: OnRead
+// sees (and may damage) the bytes just read from disk, OnWrite the
+// bytes about to be installed. Implementations return the payload to
+// use (possibly the input unchanged).
+type BlobFaults interface {
+	OnRead(key string, data []byte) []byte
+	OnWrite(key string, data []byte) []byte
 }
 
 // StoreStats is a snapshot of a Store's traffic counters.
@@ -47,6 +73,12 @@ type StoreStats struct {
 	// GCEvictions counts entries removed by Store.GC passes (corrupt
 	// entries deleted on read are counted under Corrupt instead).
 	GCEvictions int64
+	// CorruptQuarantined counts keys retired after failing their
+	// checksum twice: the blob is renamed to *.corrupt and the key is
+	// no longer cached (reads miss, writes are dropped), breaking the
+	// heal/re-corrupt loop a persistently bad blob would otherwise
+	// cause.
+	CorruptQuarantined int64
 }
 
 // entryFile is the on-disk format. Key catches cross-key collisions and
@@ -85,11 +117,18 @@ func (s *Store) path(key string) string {
 // entry's mtime, which is the access recency GC's LRU eviction orders by
 // (best effort: a touch that loses a race with an eviction is ignored).
 func (s *Store) Get(key string) (*engine.Result, bool) {
+	if s.isQuarantined(key) {
+		s.misses.Add(1)
+		return nil, false
+	}
 	path := s.path(key)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		s.misses.Add(1)
 		return nil, false
+	}
+	if s.Faults != nil {
+		data = s.Faults.OnRead(key, data)
 	}
 	var ent entryFile
 	if err := json.Unmarshal(data, &ent); err != nil {
@@ -112,17 +151,53 @@ func (s *Store) Get(key string) (*engine.Result, bool) {
 	return &res, true
 }
 
-// evictCorrupt removes a damaged entry and reports the miss.
+// evictCorrupt handles a damaged entry and reports the miss. The first
+// corrupt read of a key deletes the blob so the point re-simulates and
+// heals; a second corrupt read of the same key quarantines it instead
+// (rename to *.corrupt, key dropped from caching) — healing clearly
+// did not stick, and retrying forever would loop heal/re-corrupt.
 func (s *Store) evictCorrupt(key string) bool {
 	s.corrupt.Add(1)
 	s.misses.Add(1)
+	s.qmu.Lock()
+	if s.corruptSeen == nil {
+		s.corruptSeen = make(map[string]int)
+	}
+	s.corruptSeen[key]++
+	quarantine := s.corruptSeen[key] >= 2
+	if quarantine {
+		if s.quarantined == nil {
+			s.quarantined = make(map[string]bool)
+		}
+		s.quarantined[key] = true
+	}
+	s.qmu.Unlock()
+	if quarantine {
+		s.quarantines.Add(1)
+		// Keep the evidence out of the .json namespace: Get, Len and GC
+		// all ignore it. A failed rename still leaves the key
+		// quarantined in memory.
+		os.Rename(s.path(key), s.path(key)+".corrupt")
+		return false
+	}
 	os.Remove(s.path(key))
 	return false
+}
+
+// isQuarantined reports whether key has been retired from caching.
+func (s *Store) isQuarantined(key string) bool {
+	s.qmu.Lock()
+	q := s.quarantined[key]
+	s.qmu.Unlock()
+	return q
 }
 
 // Put installs res under key. Best effort: a failed install is counted
 // and the run proceeds uncached.
 func (s *Store) Put(key string, res *engine.Result) {
+	if s.isQuarantined(key) {
+		return
+	}
 	body, err := json.Marshal(res)
 	if err != nil {
 		s.writeErrs.Add(1)
@@ -133,6 +208,9 @@ func (s *Store) Put(key string, res *engine.Result) {
 	if err != nil {
 		s.writeErrs.Add(1)
 		return
+	}
+	if s.Faults != nil {
+		data = s.Faults.OnWrite(key, data)
 	}
 	path := s.path(key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -197,11 +275,12 @@ func (s *Store) Len() int {
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() StoreStats {
 	return StoreStats{
-		Hits:        s.hits.Load(),
-		Misses:      s.misses.Load(),
-		Corrupt:     s.corrupt.Load(),
-		Writes:      s.writes.Load(),
-		WriteErrors: s.writeErrs.Load(),
-		GCEvictions: s.gcEvictions.Load(),
+		Hits:               s.hits.Load(),
+		Misses:             s.misses.Load(),
+		Corrupt:            s.corrupt.Load(),
+		Writes:             s.writes.Load(),
+		WriteErrors:        s.writeErrs.Load(),
+		GCEvictions:        s.gcEvictions.Load(),
+		CorruptQuarantined: s.quarantines.Load(),
 	}
 }

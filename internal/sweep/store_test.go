@@ -369,3 +369,96 @@ func TestStoreSingleFlight(t *testing.T) {
 		t.Fatalf("want %d L1 hits, got %+v", callers-1, st)
 	}
 }
+
+// corruptingFaults damages the first byte of every blob read while
+// active — a persistently bad blob, as a failing disk sector would
+// present it.
+type corruptingFaults struct{ active bool }
+
+func (c *corruptingFaults) OnRead(key string, data []byte) []byte {
+	if !c.active || len(data) == 0 {
+		return data
+	}
+	out := append([]byte(nil), data...)
+	out[0] = 0x00
+	return out
+}
+
+func (c *corruptingFaults) OnWrite(key string, data []byte) []byte { return data }
+
+// TestStoreQuarantineBreaksHealLoop pins the anti-loop contract: the
+// first corrupt read of a key deletes and heals, the second retires the
+// key — renamed to *.corrupt, dropped from caching — so a persistently
+// bad blob cannot trap the store in heal/re-corrupt forever.
+func TestStoreQuarantineBreaksHealLoop(t *testing.T) {
+	dir := t.TempDir()
+	r := storeRunner(t, dir, 24)
+	if _, err := r.Run(storePoint); err != nil {
+		t.Fatal(err)
+	}
+	key, ok := r.storeKey(storePoint)
+	if !ok {
+		t.Fatal("store point must be cacheable")
+	}
+	st := r.Store
+	cf := &corruptingFaults{active: true}
+	st.Faults = cf
+
+	// First corrupt read: heal path — blob deleted, counted, missed.
+	if _, hit := st.Get(key); hit {
+		t.Fatal("corrupt blob served as a hit")
+	}
+	if s := st.Stats(); s.Corrupt != 1 || s.CorruptQuarantined != 0 {
+		t.Fatalf("after first corruption: %+v", s)
+	}
+	if _, err := os.Stat(st.path(key)); !os.IsNotExist(err) {
+		t.Fatal("first corruption must delete the blob so the point re-heals")
+	}
+
+	// The runner heals it (simulate + reinstall), the blob reads corrupt
+	// again: quarantine.
+	res, err := r.Suite.RunWith(nil, storePoint.Kind, storePoint.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Put(key, res)
+	if _, hit := st.Get(key); hit {
+		t.Fatal("corrupt blob served as a hit")
+	}
+	s := st.Stats()
+	if s.Corrupt != 2 || s.CorruptQuarantined != 1 {
+		t.Fatalf("after second corruption: %+v", s)
+	}
+	if _, err := os.Stat(st.path(key) + ".corrupt"); err != nil {
+		t.Fatalf("quarantined blob should survive as *.corrupt evidence: %v", err)
+	}
+	if st.Len() != 0 {
+		t.Fatalf("quarantined entry still counted: Len=%d", st.Len())
+	}
+
+	// Quarantined: writes are dropped, reads miss without touching the
+	// corrupt counters — the loop is broken.
+	writes := s.Writes
+	st.Put(key, res)
+	if _, hit := st.Get(key); hit {
+		t.Fatal("quarantined key served a hit")
+	}
+	if s := st.Stats(); s.Writes != writes || s.Corrupt != 2 || s.CorruptQuarantined != 1 {
+		t.Fatalf("quarantine must stop the heal/re-corrupt loop: %+v", s)
+	}
+
+	// A fresh runner over the same store handle still completes the
+	// point — it just simulates uncached every time.
+	r2 := NewRunner(storeSuite(t, 24))
+	r2.Store = st
+	got, err := r2.Run(storePoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Fatal("degraded (uncached) run differs from the healed result")
+	}
+	if rs := r2.Stats(); rs.Sims != 1 || rs.StoreHits != 0 {
+		t.Fatalf("quarantined point should simulate, not hit: %+v", rs)
+	}
+}

@@ -6,6 +6,7 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -14,6 +15,15 @@ import (
 	"daesim/internal/engine"
 	"daesim/internal/machine"
 )
+
+// ErrUnavailable marks a remote error meaning "no replica could serve
+// this work at all" — every candidate was tried (or the whole fleet is
+// down), as opposed to a refusal that would repeat anywhere (bad
+// request, version skew). Remote hooks wrap it (errors.Is) to tell a
+// Degrade-enabled Runner that falling back to local simulation is both
+// safe and the only way forward; any other remote error still fails
+// the point loudly.
+var ErrUnavailable = errors.New("sweep: remote unavailable")
 
 // Point identifies one simulation: a machine kind plus parameters.
 type Point struct {
@@ -55,6 +65,13 @@ type CacheStats struct {
 	RemoteSearches int64
 	// Sims are simulations actually executed for cacheable points.
 	Sims int64
+	// Degraded are cacheable points simulated locally as a last resort
+	// because every remote owner was unavailable (Runner.Degrade) —
+	// results are byte-identical to the remote answer by determinism,
+	// so a degraded run completes correctly, just without the shared
+	// cache. Counted separately from Sims so "warm remote runs simulate
+	// nothing" assertions stay meaningful.
+	Degraded int64
 	// Uncacheable are runs that bypassed both layers (custom Params.Mem).
 	Uncacheable int64
 }
@@ -66,6 +83,7 @@ func (s *CacheStats) Add(other CacheStats) {
 	s.RemoteHits += other.RemoteHits
 	s.RemoteSearches += other.RemoteSearches
 	s.Sims += other.Sims
+	s.Degraded += other.Degraded
 	s.Uncacheable += other.Uncacheable
 }
 
@@ -73,7 +91,7 @@ func (s *CacheStats) Add(other CacheStats) {
 // simulating locally (from the in-memory map, the persistent store, or
 // a remote daemon).
 func (s CacheStats) HitRate() float64 {
-	total := s.L1Hits + s.StoreHits + s.RemoteHits + s.Sims
+	total := s.L1Hits + s.StoreHits + s.RemoteHits + s.Sims + s.Degraded
 	if total == 0 {
 		return 0
 	}
@@ -98,7 +116,8 @@ type Runner struct {
 	// cache instead of simulating locally. Remote results are installed
 	// into the local Store (when attached) like any fill. A Remote error
 	// fails the point: a misconfigured or unreachable daemon should
-	// surface, not silently degrade to local simulation. Uncacheable
+	// surface, not silently degrade to local simulation (the one
+	// explicit exception is Degrade + ErrUnavailable). Uncacheable
 	// points (custom Params.Mem) never route remotely — a MemModel is
 	// arbitrary local code. Set it before the first Run.
 	Remote func(Point) (*engine.Result, error)
@@ -113,12 +132,20 @@ type Runner struct {
 	// results install into the local Store, uncacheable points never
 	// route. Set it before the first Run.
 	RemoteBatch func([]Point) ([]*engine.Result, error)
+	// Degrade is the last rung of the failure ladder: when set, a
+	// Remote/RemoteBatch failure that wraps ErrUnavailable (every owner
+	// of the point is down) falls back to local simulation — counted as
+	// Degraded, installed into the Store like any fill, byte-identical
+	// by determinism — instead of failing the sweep. Any other remote
+	// error still surfaces loudly, so misconfiguration (bad URL, skew,
+	// bad request) never silently degrades.
+	Degrade bool
 
 	mu     sync.Mutex
 	cache  map[key]*entry
 	prefix string // engine version + suite fingerprint, built lazily
 
-	l1Hits, storeHits, remoteHits, sims, uncacheable atomic.Int64
+	l1Hits, storeHits, remoteHits, sims, degraded, uncacheable atomic.Int64
 }
 
 // NewRunner returns a Runner for the suite.
@@ -217,10 +244,21 @@ func (r *Runner) fillMiss(sim *engine.Sim, pt Point) (*engine.Result, error) {
 	var err error
 	if r.Remote != nil {
 		res, err = r.Remote(pt)
-		if err != nil {
+		switch {
+		case err == nil:
+			r.remoteHits.Add(1)
+		case r.Degrade && errors.Is(err, ErrUnavailable):
+			// Every owner is down: simulate locally so the sweep
+			// completes (byte-identically — the remote would have run
+			// the same deterministic simulation).
+			res, err = r.Suite.RunWith(sim, pt.Kind, pt.P)
+			if err != nil {
+				return nil, err
+			}
+			r.degraded.Add(1)
+		default:
 			return nil, err
 		}
-		r.remoteHits.Add(1)
 	} else {
 		res, err = r.Suite.RunWith(sim, pt.Kind, pt.P)
 		if err != nil {
@@ -243,6 +281,7 @@ func (r *Runner) Stats() CacheStats {
 		StoreHits:   r.storeHits.Load(),
 		RemoteHits:  r.remoteHits.Load(),
 		Sims:        r.sims.Load(),
+		Degraded:    r.degraded.Load(),
 		Uncacheable: r.uncacheable.Load(),
 	}
 }
@@ -421,8 +460,34 @@ func (r *Runner) fillBatch(pts []Point, misses []claim, settle func(c claim, res
 			mpts[j] = pts[c.idx]
 		}
 		results, err := r.RemoteBatch(mpts)
+		var unserved []bool
 		if err != nil {
-			return err
+			if !r.Degrade || !errors.Is(err, ErrUnavailable) {
+				return err
+			}
+			// Partial-batch degradation: the hook ran the wave against
+			// the surviving owners and returned what it could (slots it
+			// could not serve are nil — possibly all of them). Accept
+			// the served slots as remote hits and simulate the rest
+			// locally, so one dead replica (or a whole dead fleet)
+			// degrades the wave instead of failing it.
+			if len(results) != len(mpts) {
+				results = make([]*engine.Result, len(mpts))
+			}
+			unserved = make([]bool, len(mpts))
+			errs := make([]error, len(mpts))
+			r.forEach(len(mpts), func(sim *engine.Sim, j int) {
+				if results[j] != nil {
+					return
+				}
+				unserved[j] = true
+				results[j], errs[j] = r.Suite.RunWith(sim, mpts[j].Kind, mpts[j].P)
+			})
+			for j, serr := range errs {
+				if serr != nil {
+					return fmt.Errorf("sweep: point %d: %w", misses[j].idx, serr)
+				}
+			}
 		}
 		if len(results) != len(mpts) {
 			return fmt.Errorf("sweep: remote batch returned %d results for %d points", len(results), len(mpts))
@@ -437,7 +502,11 @@ func (r *Runner) fillBatch(pts []Point, misses []claim, settle func(c claim, res
 			}
 		}
 		for j, c := range misses {
-			r.remoteHits.Add(1)
+			if unserved != nil && unserved[j] {
+				r.degraded.Add(1)
+			} else {
+				r.remoteHits.Add(1)
+			}
 			if r.Store != nil {
 				if sk, ok := r.storeKey(pts[c.idx]); ok {
 					r.Store.Put(sk, results[j])

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"errors"
+	"fmt"
 	"reflect"
 	"strings"
 	"sync/atomic"
@@ -352,5 +353,96 @@ func TestWindows(t *testing.T) {
 	}
 	if got := Windows(5, 4, 1); got != nil {
 		t.Fatalf("empty range should be nil: %v", got)
+	}
+}
+
+// TestRemoteDegradeFallsBackLocally pins the last rung of the failure
+// ladder: a Remote failure wrapping ErrUnavailable fails loudly by
+// default, but with Degrade set the point simulates locally (counted
+// as Degraded, byte-identical to the local oracle). Any other remote
+// error still surfaces even with Degrade on.
+func TestRemoteDegradeFallsBackLocally(t *testing.T) {
+	pt := Point{Kind: machine.DM, P: machine.Params{Window: 8, MD: 30}}
+	oracle := testRunner(t)
+	want, err := oracle.Run(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := testRunner(t)
+	r.Remote = func(Point) (*engine.Result, error) {
+		return nil, fmt.Errorf("daemon fleet: every owner down: %w", ErrUnavailable)
+	}
+	if _, err := r.Run(pt); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("without Degrade an unavailable fleet must fail loudly, got %v", err)
+	}
+	r.Degrade = true
+	got, err := r.Run(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("degraded result differs from the local oracle")
+	}
+	if st := r.Stats(); st.Degraded != 1 || st.Sims != 0 || st.RemoteHits != 0 {
+		t.Fatalf("degraded fill miscounted: %+v", st)
+	}
+
+	r2 := testRunner(t)
+	r2.Degrade = true
+	r2.Remote = func(Point) (*engine.Result, error) { return nil, errors.New("version skew") }
+	if _, err := r2.Run(pt); err == nil || !strings.Contains(err.Error(), "version skew") {
+		t.Fatalf("non-unavailable remote errors must not degrade: %v", err)
+	}
+}
+
+// TestRemoteBatchPartialDegrade pins partial-batch semantics: when the
+// batch hook returns what the surviving owners could serve (nil slots
+// for the rest) alongside an ErrUnavailable-wrapped error, a Degrade
+// runner accepts the served slots as remote hits and simulates only
+// the orphaned ones.
+func TestRemoteBatchPartialDegrade(t *testing.T) {
+	oracle := testRunner(t)
+	var pts []Point
+	for i := 0; i < 6; i++ {
+		pts = append(pts, Point{Kind: machine.DM, P: machine.Params{Window: 8 + i, MD: 30}})
+	}
+	want, err := oracle.RunAll(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := testRunner(t)
+	r.Degrade = true
+	served := testRunner(t) // stands in for the surviving replicas
+	r.RemoteBatch = func(misses []Point) ([]*engine.Result, error) {
+		out := make([]*engine.Result, len(misses))
+		for i := 0; i < len(misses); i += 2 {
+			res, err := served.Run(misses[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+		}
+		return out, fmt.Errorf("daemon fleet: 3 points failed on every candidate: %w", ErrUnavailable)
+	}
+	got, err := r.RunBatch(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("partially degraded batch differs from the local oracle")
+	}
+	if st := r.Stats(); st.RemoteHits != 3 || st.Degraded != 3 || st.Sims != 0 {
+		t.Fatalf("partial degradation miscounted: %+v", st)
+	}
+
+	// Without Degrade, the same partial answer fails the batch.
+	r2 := testRunner(t)
+	r2.RemoteBatch = func(misses []Point) ([]*engine.Result, error) {
+		return make([]*engine.Result, len(misses)), fmt.Errorf("down: %w", ErrUnavailable)
+	}
+	if _, err := r2.RunBatch(pts); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("without Degrade a partial batch must fail: %v", err)
 	}
 }
