@@ -343,6 +343,14 @@ func (c *Client) WaitHealthy(ctx context.Context, timeout time.Duration) error {
 		if err = c.Health(ctx); err == nil {
 			return nil
 		}
+		// A cancelled caller must stop retrying: Health fails fast on a
+		// dead context, and without this check the loop would spin on
+		// that error until the deadline.
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("daemon client: not healthy after %s: %w", timeout, err)
 		}

@@ -237,7 +237,7 @@ func decode(r *http.Request, v any) error {
 	if err := dec.Decode(v); err != nil {
 		return err
 	}
-	if _, err := dec.Token(); err != io.EOF {
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
 		return fmt.Errorf("unexpected data after the JSON body")
 	}
 	return nil
