@@ -1,7 +1,8 @@
 // Command daelint runs the repo's static-analysis suite (internal/lint):
-// four analyzers that enforce the determinism, schema-parity, hot-path
-// and version-bump invariants the figures depend on. CI runs it as a
-// required step; DESIGN.md §12 documents the analyzers and the
+// seven analyzers that enforce the determinism, schema-parity, hot-path,
+// version-bump, lock-discipline, context-flow and error-classification
+// invariants the figures and the fleet failure ladder depend on. CI runs
+// it as a required step; DESIGN.md §12 documents the analyzers and the
 // //daelint: annotation grammar.
 //
 // Usage:
@@ -9,12 +10,14 @@
 //	go run ./cmd/daelint ./...                      lint the module
 //	go run ./cmd/daelint -tests ./...               include _test.go files
 //	go run ./cmd/daelint -only determinism ./...    run a subset
+//	go run ./cmd/daelint -json ./...                machine-readable findings
 //	go run ./cmd/daelint -update-semantics ./...    regenerate semantics.lock
 //
 // Exit status is 1 when any finding survives, 2 on usage or load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,11 +28,12 @@ import (
 
 func main() {
 	tests := flag.Bool("tests", false, "also analyze _test.go files")
-	only := flag.String("only", "", "comma-separated analyzer subset (determinism,schemaguard,hotpath,versionkey)")
+	only := flag.String("only", "", "comma-separated analyzer subset (determinism,schemaguard,hotpath,versionkey,lockguard,ctxflow,errclass)")
 	update := flag.Bool("update-semantics", false, "regenerate the versionkey semantics lock instead of linting")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (file/line/col/analyzer/message/directive)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: daelint [-tests] [-only names] [-update-semantics] packages...\n")
+		fmt.Fprintf(os.Stderr, "usage: daelint [-tests] [-only names] [-json] [-update-semantics] packages...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -39,6 +43,9 @@ func main() {
 		lint.NewSchemaGuard(lint.DefaultSchemaConfig),
 		lint.NewHotpath(),
 		lint.NewVersionKey(lint.DefaultVersionKeyConfig),
+		lint.NewLockguard(lint.LockguardConfig{Paths: lint.DefaultConcurrencyPaths}),
+		lint.NewCtxflow(lint.CtxflowConfig{Paths: lint.DefaultConcurrencyPaths}),
+		lint.NewErrclass(lint.DefaultErrclassConfig),
 	}
 	if *list {
 		for _, a := range analyzers {
@@ -91,8 +98,12 @@ func main() {
 	}
 
 	diags := lint.RunAnalyzers(w, analyzers)
-	for _, d := range diags {
-		fmt.Println(rel(d))
+	if *jsonOut {
+		writeJSON(diags)
+	} else {
+		for _, d := range diags {
+			fmt.Println(relString(d.String()))
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "daelint: %d finding(s)\n", len(diags))
@@ -100,14 +111,45 @@ func main() {
 	}
 }
 
-// rel prints a diagnostic with the filename relative to the working
-// directory when possible, keeping CI output clickable.
-func rel(d lint.Diagnostic) string {
+// jsonDiag is the machine-readable finding shape CI archives next to
+// chaos_smoke.json. Directive names the suppression that would silence
+// the finding (empty for pseudo-analyzers like "directive").
+type jsonDiag struct {
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Col       int    `json:"col"`
+	Analyzer  string `json:"analyzer"`
+	Message   string `json:"message"`
+	Directive string `json:"directive,omitempty"`
+}
+
+func writeJSON(diags []lint.Diagnostic) {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:      relString(d.Pos.Filename),
+			Line:      d.Pos.Line,
+			Col:       d.Pos.Column,
+			Analyzer:  d.Analyzer,
+			Message:   d.Message,
+			Directive: lint.SuppressDirective(d.Analyzer),
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+// relString strips the working directory prefix, keeping CI output
+// clickable and the JSON artifact host-independent.
+func relString(s string) string {
 	wd, err := os.Getwd()
 	if err != nil {
-		return d.String()
+		return s
 	}
-	s := d.String()
 	if strings.HasPrefix(s, wd+"/") {
 		return s[len(wd)+1:]
 	}

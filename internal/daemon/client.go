@@ -65,7 +65,7 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 		return fmt.Errorf("daemon client: encoding %s request: %w", path, err)
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //daelint:ctxflow-ok nil ctx is documented to mean background
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
@@ -83,7 +83,7 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 // get fetches path and decodes the 200 body into resp.
 func (c *Client) get(ctx context.Context, path string, resp any) error {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //daelint:ctxflow-ok nil ctx is documented to mean background
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
@@ -163,7 +163,7 @@ func (c *Client) Run(ctx context.Context, workload string, scale int, fingerprin
 		return nil, err
 	}
 	if resp.Result == nil {
-		return nil, fmt.Errorf("daemon client: /v1/run returned no result")
+		return nil, fmt.Errorf("daemon client: /v1/run returned no result: %w", ErrMalformedReply)
 	}
 	return resp.Result, nil
 }
@@ -184,7 +184,7 @@ func (c *Client) Sweep(ctx context.Context, workload string, scale int, pts []sw
 		return nil, err
 	}
 	if len(resp.Results) != len(pts) {
-		return nil, fmt.Errorf("daemon client: /v1/sweep returned %d results for %d points", len(resp.Results), len(pts))
+		return nil, fmt.Errorf("daemon client: /v1/sweep returned %d results for %d points: %w", len(resp.Results), len(pts), ErrMalformedReply)
 	}
 	return resp.Results, nil
 }
@@ -207,13 +207,13 @@ func (c *Client) BatchRun(ctx context.Context, items []RunRequest) ([]*engine.Re
 			return nil, err
 		}
 		if len(resp.Results) != len(chunk) {
-			return nil, fmt.Errorf("daemon client: /v1/batch/run returned %d results for %d items", len(resp.Results), len(chunk))
+			return nil, fmt.Errorf("daemon client: /v1/batch/run returned %d results for %d items: %w", len(resp.Results), len(chunk), ErrMalformedReply)
 		}
 		for i, r := range resp.Results {
 			if r == nil {
 				// A null element would otherwise settle into the caller's L1
 				// and store as a poisoned entry and crash the first reader.
-				return nil, fmt.Errorf("daemon client: /v1/batch/run returned a null result for item %d", start+i)
+				return nil, fmt.Errorf("daemon client: /v1/batch/run returned a null result for item %d: %w", start+i, ErrMalformedReply)
 			}
 		}
 		out = append(out, resp.Results...)
@@ -238,7 +238,7 @@ func (c *Client) BatchSearch(ctx context.Context, items []SearchRequest) ([]Sear
 			return nil, err
 		}
 		if len(resp.Results) != len(chunk) {
-			return nil, fmt.Errorf("daemon client: /v1/batch/search returned %d results for %d items", len(resp.Results), len(chunk))
+			return nil, fmt.Errorf("daemon client: /v1/batch/search returned %d results for %d items: %w", len(resp.Results), len(chunk), ErrMalformedReply)
 		}
 		out = append(out, resp.Results...)
 	}
@@ -325,10 +325,10 @@ func (c *Client) Health(ctx context.Context) error {
 		return err
 	}
 	if resp.Status != "ok" {
-		return fmt.Errorf("daemon client: health status %q", resp.Status)
+		return fmt.Errorf("daemon client: health status %q: %w", resp.Status, ErrFleetUnhealthy)
 	}
 	if resp.EngineVersion != "" && resp.EngineVersion != engine.Version {
-		return fmt.Errorf("daemon client: engine version skew: daemon runs %s, this build is %s (restart sweepd from this build)", resp.EngineVersion, engine.Version)
+		return fmt.Errorf("daemon client: engine version skew: daemon runs %s, this build is %s (restart sweepd from this build): %w", resp.EngineVersion, engine.Version, ErrFleetUnhealthy)
 	}
 	return nil
 }

@@ -203,10 +203,10 @@ const (
 // the cycle with a fake clock.
 type breaker struct {
 	mu      sync.Mutex
-	state   breakerState
-	fails   int       // consecutive retryable failures while closed
-	until   time.Time // open expiry; after it the breaker half-opens
-	probing bool      // half-open: the single probe slot is taken
+	state   breakerState //daelint:guardedby mu
+	fails   int          //daelint:guardedby mu -- consecutive retryable failures while closed
+	until   time.Time    //daelint:guardedby mu -- open expiry; after it the breaker half-opens
+	probing bool         //daelint:guardedby mu -- half-open: the single probe slot is taken
 }
 
 // allow reports whether replica i may receive new work now. An expired
@@ -286,6 +286,9 @@ func retryable(err error) bool {
 	var se *StatusError
 	if errors.As(err, &se) {
 		return se.Retryable()
+	}
+	if errors.Is(err, ErrNotRemotable) || errors.Is(err, ErrFleetUnhealthy) {
+		return false
 	}
 	return true
 }
@@ -568,7 +571,7 @@ func (f *FleetClient) single(ctx context.Context, key string, exec func(ctx cont
 func (f *FleetClient) Run(ctx context.Context, workload string, scale int, fingerprint string, pt sweep.Point) (*engine.Result, error) {
 	key, ok := routeKey(workload, scale, fingerprint, pt)
 	if !ok {
-		return nil, fmt.Errorf("daemon fleet: points with a custom memory model cannot be simulated remotely")
+		return nil, fmt.Errorf("daemon fleet: points with a custom memory model cannot be simulated remotely: %w", ErrNotRemotable)
 	}
 	var mu sync.Mutex
 	var res *engine.Result
@@ -605,7 +608,7 @@ func (f *FleetClient) RunBatch(ctx context.Context, workload string, scale int, 
 	for i, pt := range pts {
 		k, ok := routeKey(workload, scale, fingerprint, pt)
 		if !ok {
-			return nil, fmt.Errorf("daemon fleet: point %d carries a custom memory model and cannot run remotely", i)
+			return nil, fmt.Errorf("daemon fleet: point %d carries a custom memory model and cannot run remotely: %w", i, ErrNotRemotable)
 		}
 		keys[i] = k
 	}
@@ -743,17 +746,17 @@ func (f *FleetClient) Health(ctx context.Context) error {
 			return fmt.Errorf("daemon fleet: replica %d (%s): %w", i, c.BaseURL, err)
 		}
 		if resp.Status != "ok" {
-			return fmt.Errorf("daemon fleet: replica %d (%s): health status %q", i, c.BaseURL, resp.Status)
+			return fmt.Errorf("daemon fleet: replica %d (%s): health status %q: %w", i, c.BaseURL, resp.Status, ErrFleetUnhealthy)
 		}
 		if resp.EngineVersion != "" && resp.EngineVersion != engine.Version {
-			return fmt.Errorf("daemon fleet: replica %d (%s): engine version skew: daemon runs %s, this build is %s (restart it from this build)", i, c.BaseURL, resp.EngineVersion, engine.Version)
+			return fmt.Errorf("daemon fleet: replica %d (%s): engine version skew: daemon runs %s, this build is %s (restart it from this build): %w", i, c.BaseURL, resp.EngineVersion, engine.Version, ErrFleetUnhealthy)
 		}
 		if len(resp.Fleet) > 0 && !sameMembers(resp.Fleet, f.ring.Members()) {
-			return fmt.Errorf("daemon fleet: membership skew: replica %s advertises fleet %v, this client routes over %v (every replica's -fleet must list the same addresses as the client's replica list)", c.BaseURL, resp.Fleet, f.ring.Members())
+			return fmt.Errorf("daemon fleet: membership skew: replica %s advertises fleet %v, this client routes over %v (every replica's -fleet must list the same addresses as the client's replica list): %w", c.BaseURL, resp.Fleet, f.ring.Members(), ErrFleetUnhealthy)
 		}
 		if resp.ReplicaID != "" {
 			if prev, dup := ids[resp.ReplicaID]; dup {
-				return fmt.Errorf("daemon fleet: replicas %d and %d both advertise replica id %q (-replica must be unique per daemon)", prev, i, resp.ReplicaID)
+				return fmt.Errorf("daemon fleet: replicas %d and %d both advertise replica id %q (-replica must be unique per daemon): %w", prev, i, resp.ReplicaID, ErrFleetUnhealthy)
 			}
 			ids[resp.ReplicaID] = i
 		}

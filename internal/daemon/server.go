@@ -63,7 +63,7 @@ type Server struct {
 	sem   chan struct{} // nil when MaxConcurrent == 0
 
 	mu       sync.Mutex
-	contexts map[suiteKey]*experiments.Context
+	contexts map[suiteKey]*experiments.Context //daelint:guardedby mu
 
 	requests atomic.Int64
 	draining atomic.Bool

@@ -40,9 +40,9 @@ type Injector struct {
 	sched Schedule
 
 	mu     sync.Mutex
-	next   map[string]uint64
-	events []Event
-	counts Counts
+	next   map[string]uint64 //daelint:guardedby mu
+	events []Event           //daelint:guardedby mu
+	counts Counts            //daelint:guardedby mu
 }
 
 // NewInjector returns an Injector evaluating sched.

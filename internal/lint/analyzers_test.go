@@ -34,6 +34,58 @@ func TestSchemaGuardFixture(t *testing.T) {
 	runFixture(t, w, []*Analyzer{NewSchemaGuard(fixtureSchemaConfig)})
 }
 
+func TestLockguardFixture(t *testing.T) {
+	w := loadFixture(t, filepath.Join("testdata", "src"), "lock")
+	runFixture(t, w, []*Analyzer{NewLockguard(LockguardConfig{Paths: []string{"lock"}})})
+}
+
+func TestCtxflowFixture(t *testing.T) {
+	w := loadFixture(t, filepath.Join("testdata", "src"), "ctxf")
+	runFixture(t, w, []*Analyzer{NewCtxflow(CtxflowConfig{Paths: []string{"ctxf"}})})
+}
+
+func TestErrclassFixture(t *testing.T) {
+	w := loadFixture(t, filepath.Join("testdata", "src"), "errc")
+	runFixture(t, w, []*Analyzer{NewErrclass(ErrclassConfig{
+		Paths:    []string{"errc"},
+		Boundary: [][2]string{{"errc", "Client"}},
+	})})
+}
+
+// TestDirectiveEdgeCases pins the directive-grammar corners: a duplicate
+// //daelint:guardedby, a guardedby naming a mutex that does not exist,
+// and a reasonless suppression — which is malformed AND leaves the
+// underlying finding unsuppressed.
+func TestDirectiveEdgeCases(t *testing.T) {
+	w := loadFixture(t, filepath.Join("testdata", "src"), "dirs")
+	diags := RunAnalyzers(w, []*Analyzer{NewLockguard(LockguardConfig{Paths: []string{"dirs"}})})
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+": "+d.Message)
+	}
+	wantSubstrs := []string{
+		"lockguard: duplicate //daelint:guardedby on field dup",
+		"lockguard: //daelint:guardedby missing on field bad: missing names no sibling sync.Mutex/RWMutex field of T",
+		"directive: //daelint:lockguard-ok needs a reason",
+		"lockguard: read of T.n outside mu.Lock/Unlock span",
+	}
+	if len(got) != len(wantSubstrs) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(got), len(wantSubstrs), strings.Join(got, "\n"))
+	}
+	for _, want := range wantSubstrs {
+		found := false
+		for _, g := range got {
+			if strings.Contains(g, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding contains %q; got:\n%s", want, strings.Join(got, "\n"))
+		}
+	}
+}
+
 func TestMalformedDirectives(t *testing.T) {
 	w := loadFixture(t, filepath.Join("testdata", "src"), "badly")
 	mal := w.Pkg("badly").Directives.Malformed
@@ -142,7 +194,7 @@ func TestVersionKeyLifecycle(t *testing.T) {
 	wantOne("version bump", `records "engine-v1"`)
 }
 
-// TestRepoIsClean is the self-hosting gate: the four production
+// TestRepoIsClean is the self-hosting gate: the seven production
 // analyzers over the whole module must report nothing, in both the
 // plain and the -tests configuration.
 func TestRepoIsClean(t *testing.T) {
@@ -158,6 +210,9 @@ func TestRepoIsClean(t *testing.T) {
 		NewSchemaGuard(DefaultSchemaConfig),
 		NewHotpath(),
 		NewVersionKey(DefaultVersionKeyConfig),
+		NewLockguard(LockguardConfig{Paths: DefaultConcurrencyPaths}),
+		NewCtxflow(CtxflowConfig{Paths: DefaultConcurrencyPaths}),
+		NewErrclass(DefaultErrclassConfig),
 	}
 	for _, includeTests := range []bool{false, true} {
 		w.IncludeTests = includeTests

@@ -153,6 +153,111 @@ func namedStruct(pkg *Package, name string) (*types.Named, *types.Struct) {
 	return named, st
 }
 
+// isNamedType reports whether t (after stripping one pointer) is the
+// named type path.Name.
+func isNamedType(t types.Type, path, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == path
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (value or
+// pointer).
+func isMutexType(t types.Type) bool {
+	return isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex")
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return isNamedType(t, "context", "Context")
+}
+
+// isHTTPRequestPtr reports whether t is *net/http.Request — functions
+// holding a request already have a context (r.Context()), so ctxflow
+// treats them as rooted.
+func isHTTPRequestPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	return ok && isNamedType(p.Elem(), "net/http", "Request")
+}
+
+// isAtomicType reports whether t is declared in sync/atomic
+// (atomic.Int64, atomic.Bool, ...).
+func isAtomicType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errIface, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return errIface != nil && types.Implements(t, errIface)
+}
+
+// receiverNamed resolves fd's receiver base type (stripping pointers),
+// or nil for plain functions — the method-set resolution lockguard and
+// errclass use to tie an alias like b := &f.breakers[i] back to the
+// declaring struct.
+func receiverNamed(info *types.Info, fd *ast.FuncDecl) *types.Named {
+	if fd.Recv == nil {
+		return nil
+	}
+	fn, _ := info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// eachScopedFile calls fn for every non-test file of every non-test
+// package whose import path matches one of the prefixes. The concurrency
+// and error-discipline analyzers use it: production files carry the
+// invariants, test files are the race detector's and oracle's job.
+func eachScopedFile(w *World, prefixes []string, fn func(pkg *Package, f *ast.File)) {
+	for _, path := range w.Paths {
+		pkg := w.Pkgs[path]
+		if strings.HasSuffix(pkg.Path, "_test") || !hasPathPrefix(pkg.Path, prefixes) {
+			continue
+		}
+		for i, f := range pkg.Files {
+			if i >= pkg.NumNonTest {
+				continue
+			}
+			fn(pkg, f)
+		}
+	}
+}
+
 // funcDecls indexes a package's function declarations by funcKey.
 func funcDecls(pkg *Package) map[string]*ast.FuncDecl {
 	out := map[string]*ast.FuncDecl{}

@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxflowConfig scopes the ctxflow analyzer.
+type CtxflowConfig struct {
+	// Paths are import-path prefixes in scope.
+	Paths []string
+}
+
+// unthreadedVariants maps calls that silently drop context to the
+// variant that threads it.
+var unthreadedVariants = map[string]string{
+	"net/http.NewRequest": "http.NewRequestWithContext",
+}
+
+// NewCtxflow builds the ctxflow analyzer: on the daemon/fleet/store call
+// graph, every function that blocks (channel operations, select,
+// time.Sleep, WaitGroup/Cond waits) must accept context.Context as its
+// first parameter so cancellation reaches it; retry/backoff loops that
+// sleep must consult ctx.Err()/ctx.Done() every round; and
+// context.Background()/TODO() may only be manufactured in package main,
+// tests, and functions annotated //daelint:ctx-root <reason>. Handlers
+// holding an *http.Request are rooted by r.Context().
+func NewCtxflow(cfg CtxflowConfig) *Analyzer {
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "enforces context threading, per-round cancellation checks, and no fresh contexts outside roots",
+		Run: func(w *World, report func(pos token.Pos, format string, args ...any)) {
+			eachScopedFile(w, cfg.Paths, func(pkg *Package, f *ast.File) {
+				if pkg.Types.Name() == "main" {
+					return
+				}
+				checkCtxflowFile(pkg, f, report)
+			})
+		},
+	}
+}
+
+func checkCtxflowFile(pkg *Package, f *ast.File, report func(pos token.Pos, format string, args ...any)) {
+	info := pkg.Info
+	blocked := map[*ast.FuncDecl]bool{} // already reported for blocking
+
+	blocking := func(pos token.Pos, what string, stack []ast.Node) {
+		fd, rooted := ctxflowOwner(pkg, stack)
+		if rooted || fd == nil || blocked[fd] {
+			return
+		}
+		blocked[fd] = true
+		report(pos, "%s blocks on %s but has no context.Context parameter; accept ctx first and thread it to callees, or annotate //daelint:ctx-root <reason>", fd.Name.Name, what)
+	}
+
+	walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			checkCtxPosition(pkg, n, report)
+		case *ast.SendStmt:
+			blocking(n.Pos(), "a channel send", stack)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				blocking(n.Pos(), "a channel receive", stack)
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					blocking(n.Pos(), "a channel range", stack)
+				}
+			}
+			checkRetryLoop(pkg, n.Body, n.Pos(), stack, report)
+		case *ast.ForStmt:
+			checkRetryLoop(pkg, n.Body, n.Pos(), stack, report)
+		case *ast.SelectStmt:
+			if selectBlocks(n) {
+				blocking(n.Pos(), "a select", stack)
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, n); fn != nil {
+				switch key := funcKey(fn); key {
+				case "time.Sleep", "sync.(WaitGroup).Wait", "sync.(Cond).Wait":
+					blocking(n.Pos(), key, stack)
+				case "context.Background", "context.TODO":
+					if fd, _ := enclosingDecl(stack); fd != nil {
+						if _, ok := funcDirective(fd, "ctx-root"); !ok {
+							report(n.Pos(), "%s manufactures a fresh context in %s; thread the caller's ctx, mark the function //daelint:ctx-root <reason>, or suppress //daelint:ctxflow-ok <reason>", key, fd.Name.Name)
+						}
+					}
+				default:
+					if variant, ok := unthreadedVariants[key]; ok {
+						report(n.Pos(), "%s drops the caller's context; use %s", key, variant)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// ctxflowOwner resolves the function a blocking construct belongs to and
+// whether that function is already rooted: a func literal with its own
+// ctx or *http.Request parameter owns its blocking; otherwise the
+// enclosing declaration does.
+func ctxflowOwner(pkg *Package, stack []ast.Node) (*ast.FuncDecl, bool) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			if fieldsHaveCtx(pkg, fn.Type.Params) {
+				return nil, true
+			}
+		case *ast.FuncDecl:
+			if _, ok := funcDirective(fn, "ctx-root"); ok {
+				return fn, true
+			}
+			return fn, fieldsHaveCtx(pkg, fn.Type.Params)
+		}
+	}
+	return nil, false
+}
+
+// fieldsHaveCtx reports whether a parameter list carries a
+// context.Context or *http.Request anywhere.
+func fieldsHaveCtx(pkg *Package, params *ast.FieldList) bool {
+	if params == nil {
+		return false
+	}
+	for _, field := range params.List {
+		t := pkg.Info.TypeOf(field.Type)
+		if isContextType(t) || isHTTPRequestPtr(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingDecl finds the nearest enclosing function declaration.
+func enclosingDecl(stack []ast.Node) (*ast.FuncDecl, bool) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd, true
+		}
+	}
+	return nil, false
+}
+
+// checkCtxPosition enforces ctx-first: a declaration taking
+// context.Context anywhere but first (after the receiver) is a finding.
+func checkCtxPosition(pkg *Package, fd *ast.FuncDecl, report func(pos token.Pos, format string, args ...any)) {
+	if fd.Type.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pkg.Info.TypeOf(field.Type)) && idx > 0 {
+			report(field.Pos(), "context.Context must be the first parameter of %s, not parameter %d", fd.Name.Name, idx+1)
+		}
+		idx += n
+	}
+}
+
+// checkRetryLoop flags a loop that sleeps between rounds (time.Sleep or
+// a func(time.Duration) backoff hook) without consulting ctx.Err() or
+// ctx.Done(): a cancelled caller would keep retrying. Only applies where
+// a ctx is actually in scope — rootless functions are rule-A territory.
+func checkRetryLoop(pkg *Package, body *ast.BlockStmt, pos token.Pos, stack []ast.Node, report func(pos token.Pos, format string, args ...any)) {
+	if !ctxInScope(pkg, stack) {
+		return
+	}
+	info := pkg.Info
+	sleeps, checks := false, false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false // nested loops and literals are judged on their own
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, n); fn != nil && funcKey(fn) == "time.Sleep" {
+				sleeps = true
+			} else if fn == nil && isSleepSignature(info.TypeOf(n.Fun)) {
+				sleeps = true
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if (sel.Sel.Name == "Err" || sel.Sel.Name == "Done") && isContextType(info.TypeOf(sel.X)) {
+					checks = true
+				}
+			}
+		}
+		return true
+	})
+	if sleeps && !checks {
+		report(pos, "retry loop sleeps between rounds without consulting ctx; check ctx.Err() (or select on ctx.Done()) each round so a cancelled caller stops retrying, or annotate //daelint:ctxflow-ok <reason>")
+	}
+}
+
+// ctxInScope reports whether some enclosing function (declaration or
+// literal) binds a context.Context parameter.
+func ctxInScope(pkg *Package, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			if fieldsHaveCtx(pkg, fn.Type.Params) {
+				return true
+			}
+		case *ast.FuncDecl:
+			return fieldsHaveCtx(pkg, fn.Type.Params)
+		}
+	}
+	return false
+}
+
+// isSleepSignature matches backoff hooks: func(time.Duration) with no
+// results (the repo's injectable f.sleep).
+func isSleepSignature(t types.Type) bool {
+	sig, ok := t.(*types.Signature)
+	if !ok || sig.Variadic() || sig.Params().Len() != 1 || sig.Results().Len() != 0 {
+		return false
+	}
+	return isNamedType(sig.Params().At(0).Type(), "time", "Duration")
+}
+
+// selectBlocks reports whether a select can park the goroutine: at
+// least one communication case and no default.
+func selectBlocks(sel *ast.SelectStmt) bool {
+	cases := 0
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok {
+			if cc.Comm == nil {
+				return false // default present: non-blocking poll
+			}
+			cases++
+		}
+	}
+	return cases > 0
+}

@@ -11,38 +11,54 @@ import (
 //
 //	//daelint:nondeterministic-ok <reason>   suppress one determinism finding
 //	//daelint:hotpath-ok <reason>            suppress one hotpath finding
+//	//daelint:lockguard-ok <reason>          suppress one lockguard finding
+//	//daelint:ctxflow-ok <reason>            suppress one ctxflow finding
+//	//daelint:errclass-ok <reason>           suppress one errclass finding
 //	//daelint:hotpath                        (func doc) audit this function's body
 //	//daelint:concurrent-callback            (func doc) func-typed args run on goroutines
+//	//daelint:ctx-root <reason>              (func doc) context flow starts here
 //	//daelint:unkeyed <reason>               (struct field) exempt from cache-key coverage
 //	//daelint:unwired <reason>               (struct field) exempt from wire-schema parity
+//	//daelint:guardedby <mutex field>        (struct field) accesses require the mutex
 //
 // A *-ok suppression written on a code line applies to findings on that
 // line; written alone on a line, it applies to the next line. Reasons are
 // mandatory: an annotation that cannot say why it is safe is a finding
-// itself.
+// itself. guardedby's argument names the sibling mutex field (only its
+// first word is read, so a trailing comment may follow it).
 
 // suppressionCategories are the line-scoped directives, keyed to the
 // analyzer whose findings they silence.
 var suppressionCategories = map[string]string{
 	"nondeterministic-ok": "determinism",
 	"hotpath-ok":          "hotpath",
+	"lockguard-ok":        "lockguard",
+	"ctxflow-ok":          "ctxflow",
+	"errclass-ok":         "errclass",
 }
 
 // markerCategories are the declaration-scoped directives.
 var markerCategories = map[string]bool{
 	"hotpath":             true,
 	"concurrent-callback": true,
+	"ctx-root":            true,
 	"unkeyed":             true,
 	"unwired":             true,
+	"guardedby":           true,
 }
 
-// reasonRequired lists directives whose argument (a justification) is
-// mandatory.
+// reasonRequired lists directives whose argument (a justification, or
+// for guardedby the guarding mutex's field name) is mandatory.
 var reasonRequired = map[string]bool{
 	"nondeterministic-ok": true,
 	"hotpath-ok":          true,
+	"lockguard-ok":        true,
+	"ctxflow-ok":          true,
+	"errclass-ok":         true,
+	"ctx-root":            true,
 	"unkeyed":             true,
 	"unwired":             true,
+	"guardedby":           true,
 }
 
 // Directive is one parsed //daelint: comment.
@@ -171,4 +187,26 @@ func fieldDirective(field *ast.Field, name string) (string, bool) {
 		return r, true
 	}
 	return docDirective(field.Comment, name)
+}
+
+// fieldDirectives collects every occurrence of the named marker on a
+// field (doc and trailing comments), so duplicates can be diagnosed.
+func fieldDirectives(field *ast.Field, name string) []string {
+	var out []string
+	for _, doc := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
+			if !ok {
+				continue
+			}
+			n, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+			if n == name {
+				out = append(out, strings.TrimSpace(reason))
+			}
+		}
+	}
+	return out
 }

@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrclassConfig scopes the errclass analyzer.
+type ErrclassConfig struct {
+	// Paths are import-path prefixes in scope for the errors.Is and %w
+	// rules.
+	Paths []string
+	// Boundary lists (import path, type name) pairs whose method sets
+	// form the fleet boundary: every error they construct must carry a
+	// retryability classification.
+	Boundary [][2]string
+}
+
+// DefaultErrclassConfig audits the failure-ladder packages, with the
+// daemon clients as the fleet boundary: a retry ladder keyed on
+// Retryable()/errors.Is only works if every error that reaches it is a
+// *StatusError or wraps a classified sentinel.
+var DefaultErrclassConfig = ErrclassConfig{
+	Paths: DefaultConcurrencyPaths,
+	Boundary: [][2]string{
+		{"daesim/internal/daemon", "Client"},
+		{"daesim/internal/daemon", "FleetClient"},
+	},
+}
+
+// NewErrclass builds the errclass analyzer: sentinel comparisons must go
+// through errors.Is (== misses wrapped chains), errors passed to
+// fmt.Errorf must be wrapped with %w (else Is/As lose the chain), and
+// fleet-boundary methods must not mint unclassified leaf errors
+// (errors.New / fmt.Errorf with neither %w nor a classified
+// construction) — those defeat the retry ladder's retryability test.
+func NewErrclass(cfg ErrclassConfig) *Analyzer {
+	boundary := map[string]bool{}
+	for _, b := range cfg.Boundary {
+		boundary[b[0]+"."+b[1]] = true
+	}
+	return &Analyzer{
+		Name: "errclass",
+		Doc:  "enforces errors.Is comparisons, %w wrapping, and retryability classification at the fleet boundary",
+		Run: func(w *World, report func(pos token.Pos, format string, args ...any)) {
+			eachScopedFile(w, cfg.Paths, func(pkg *Package, f *ast.File) {
+				checkErrclassFile(pkg, f, boundary, report)
+			})
+		},
+	}
+}
+
+func checkErrclassFile(pkg *Package, f *ast.File, boundary map[string]bool, report func(pos token.Pos, format string, args ...any)) {
+	info := pkg.Info
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		inBoundary := false
+		if named := receiverNamed(info, fd); named != nil && named.Obj().Pkg() != nil {
+			inBoundary = boundary[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pkg, n, report)
+			case *ast.CallExpr:
+				fn := calleeFunc(info, n)
+				if fn == nil {
+					return true
+				}
+				switch funcKey(fn) {
+				case "fmt.Errorf":
+					wraps, errArgs := errorfShape(info, n)
+					if errArgs > wraps {
+						report(n.Pos(), "fmt.Errorf passes an error without %%w in %s; wrap with %%w so errors.Is/As can classify the chain, or suppress //daelint:errclass-ok <reason>", fd.Name.Name)
+					} else if inBoundary && wraps == 0 && errArgs == 0 {
+						report(n.Pos(), "unclassified error minted in fleet-boundary method (%s).%s of %s: fmt.Errorf without %%w carries no retryability; wrap a classified sentinel or return a *StatusError, or suppress //daelint:errclass-ok <reason>", boundaryRecv(info, fd), fd.Name.Name, pkg.Path)
+					}
+				case "errors.New":
+					if inBoundary {
+						report(n.Pos(), "unclassified error minted in fleet-boundary method (%s).%s of %s: errors.New carries no retryability; wrap a classified sentinel with %%w or return a *StatusError, or suppress //daelint:errclass-ok <reason>", boundaryRecv(info, fd), fd.Name.Name, pkg.Path)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func boundaryRecv(info *types.Info, fd *ast.FuncDecl) string {
+	if named := receiverNamed(info, fd); named != nil {
+		return named.Obj().Name()
+	}
+	return "?"
+}
+
+// checkSentinelCompare flags ==/!= between an error value and a
+// package-level sentinel: identity comparison misses wrapped chains.
+func checkSentinelCompare(pkg *Package, n *ast.BinaryExpr, report func(pos token.Pos, format string, args ...any)) {
+	if n.Op != token.EQL && n.Op != token.NEQ {
+		return
+	}
+	info := pkg.Info
+	if isNilExpr(info, n.X) || isNilExpr(info, n.Y) {
+		return
+	}
+	if !isErrorType(info.TypeOf(n.X)) || !isErrorType(info.TypeOf(n.Y)) {
+		return
+	}
+	for _, side := range []ast.Expr{n.X, n.Y} {
+		if name, ok := sentinelName(pkg, side); ok {
+			report(n.Pos(), "sentinel comparison with %s: use errors.Is(err, %s), not ==/!= — wrapped errors slip past identity, or suppress //daelint:errclass-ok <reason>", n.Op, name)
+			return
+		}
+	}
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// sentinelName resolves an expression to a package-level error variable,
+// rendered as it would be written at the comparison site.
+func sentinelName(pkg *Package, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	qualifier := ""
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := pkg.Info.Uses[x].(*types.PkgName); isPkg {
+				id = e.Sel
+				qualifier = x.Name + "."
+			}
+		}
+	}
+	if id == nil {
+		return "", false
+	}
+	v, ok := pkg.Info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	return qualifier + v.Name(), true
+}
+
+// errorfShape counts %w verbs in a fmt.Errorf call's literal format and
+// error-typed arguments following it.
+func errorfShape(info *types.Info, call *ast.CallExpr) (wraps, errArgs int) {
+	if len(call.Args) == 0 {
+		return 0, 0
+	}
+	if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		if format, err := strconv.Unquote(lit.Value); err == nil {
+			wraps = countWrapVerbs(format)
+		}
+	}
+	for _, arg := range call.Args[1:] {
+		if isErrorType(info.TypeOf(arg)) {
+			errArgs++
+		}
+	}
+	return wraps, errArgs
+}
+
+// countWrapVerbs counts %w verbs, skipping %% escapes and flag/width
+// characters between the percent and the verb.
+func countWrapVerbs(format string) int {
+	count := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		j := i + 1
+		for j < len(format) && strings.ContainsRune("+-# .0123456789[]*", rune(format[j])) {
+			j++
+		}
+		if j < len(format) {
+			if format[j] == '%' {
+				i = j
+				continue
+			}
+			if format[j] == 'w' {
+				count++
+			}
+		}
+		i = j
+	}
+	return count
+}

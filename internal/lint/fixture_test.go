@@ -31,7 +31,7 @@ import (
 
 // stdExportDeps are the stdlib roots fixture packages may import; their
 // transitive closure is resolved from build-cache export data.
-var stdExportDeps = []string{"fmt", "time", "runtime", "math/rand", "sync", "reflect", "strconv", "errors"}
+var stdExportDeps = []string{"fmt", "time", "runtime", "math/rand", "sync", "sync/atomic", "reflect", "strconv", "errors", "context", "net/http"}
 
 var (
 	stdExportsOnce sync.Once

@@ -1,7 +1,8 @@
 // Package lint implements daelint, the repo's static-analysis suite: a
 // dependency-free go/analysis-style framework (loader, directive grammar,
-// fixture runner) plus four analyzers that move the project's determinism,
-// schema-parity, hot-path and version-bump invariants from hand-pinned
+// fixture runner) plus seven analyzers that move the project's
+// determinism, schema-parity, hot-path, version-bump, lock-discipline,
+// context-flow and error-classification invariants from hand-pinned
 // tests into the build. DESIGN.md §12 documents each analyzer and the
 // invariant it encodes; cmd/daelint is the CLI driver CI runs.
 package lint
@@ -80,12 +81,27 @@ func RunAnalyzers(w *World, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
 		return a.Message < b.Message
 	})
 	return diags
+}
+
+// SuppressDirective returns the //daelint: suppression name that silences
+// findings of the named analyzer ("" for pseudo-analyzers like
+// "directive" that have none).
+func SuppressDirective(analyzer string) string {
+	for name, an := range suppressionCategories {
+		if an == analyzer {
+			return name
+		}
+	}
+	return ""
 }
 
 // suppressionsAt finds the suppression directives governing pos for the

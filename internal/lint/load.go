@@ -37,6 +37,52 @@ type Package struct {
 	Src map[string][]byte
 	// Directives indexes the //daelint: comments of every file.
 	Directives *Directives
+	// fields caches the struct-field index built by FieldDecl.
+	fields map[types.Object]FieldDecl
+}
+
+// FieldDecl locates one named struct field's declaration: the ast.Field
+// carrying its directives and the name of the struct type that owns it.
+type FieldDecl struct {
+	TypeName string
+	Field    *ast.Field
+}
+
+// FieldDecl resolves a field object (as produced by types.Selection.Obj)
+// of one of this package's top-level named structs back to its
+// declaration site. This is how lockguard reads //daelint:guardedby off
+// a field reached through any alias or selector chain.
+func (p *Package) FieldDecl(obj types.Object) (FieldDecl, bool) {
+	if p.fields == nil {
+		p.fields = map[types.Object]FieldDecl{}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						for _, name := range field.Names {
+							if def := p.Info.Defs[name]; def != nil {
+								p.fields[def] = FieldDecl{TypeName: ts.Name.Name, Field: field}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	fd, ok := p.fields[obj]
+	return fd, ok
 }
 
 // IsTestFile reports whether f was loaded as a _test.go file.

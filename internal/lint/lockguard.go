@@ -1,0 +1,664 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockguardConfig scopes the lockguard analyzer to the concurrency-dense
+// packages whose lock discipline must hold under fleet failures.
+type LockguardConfig struct {
+	// Paths are import-path prefixes in scope.
+	Paths []string
+}
+
+// DefaultConcurrencyPaths are the packages the failure ladder made
+// concurrency-dense: the fleet client/server, the single-flight runner
+// and store, and the fault injector. lockguard, ctxflow and errclass all
+// audit this set; test files are exempt by design — the race detector
+// and the chaos soak own those.
+var DefaultConcurrencyPaths = []string{
+	"daesim/internal/daemon",
+	"daesim/internal/sweep",
+	"daesim/internal/faultinject",
+}
+
+// NewLockguard builds the lockguard analyzer. Struct fields annotated
+// //daelint:guardedby <mutex field> must only be read or written while
+// that sibling mutex is held (positionally: between base.mu.Lock() and
+// the matching Unlock, or after Lock with a deferred Unlock). The
+// analyzer additionally flags mixing sync/atomic operations with mutex
+// guarding on one field, lock-acquisition-order cycles across the
+// package set, and — by inference — unannotated fields that are written
+// under a struct's mutex in one place but accessed without it in
+// another.
+func NewLockguard(cfg LockguardConfig) *Analyzer {
+	return &Analyzer{
+		Name: "lockguard",
+		Doc:  "enforces //daelint:guardedby mutex discipline, atomic/mutex separation and a cycle-free lock order",
+		Run: func(w *World, report func(pos token.Pos, format string, args ...any)) {
+			st := &lockguardState{
+				guarded:   map[string]guardEntry{},
+				mutexes:   map[string][]string{},
+				annotated: map[string]bool{},
+				edges:     map[lockEdge]token.Pos{},
+				access:    map[string][]guardAccess{},
+			}
+			eachScopedFile(w, cfg.Paths, func(pkg *Package, f *ast.File) {
+				indexGuardedFields(pkg, f, st, report)
+			})
+			eachScopedFile(w, cfg.Paths, func(pkg *Package, f *ast.File) {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+						checkLockguardFunc(pkg, fd, st, report)
+					}
+				}
+			})
+			reportInferred(st, report)
+			reportLockCycles(st, report)
+		},
+	}
+}
+
+// guardEntry records one //daelint:guardedby annotation: the full field
+// id of the guarding mutex and the display names used in diagnostics.
+type guardEntry struct {
+	mutexID   string
+	mutexName string
+	typeName  string
+}
+
+// lockEdge is one observed acquisition order: to was locked while from
+// was held.
+type lockEdge struct{ from, to string }
+
+// guardAccess is one access to an inference-candidate field.
+type guardAccess struct {
+	pos       token.Pos
+	write     bool
+	held      []string // mutex field ids of the same base held at pos
+	typeName  string
+	fieldName string
+}
+
+type lockguardState struct {
+	guarded   map[string]guardEntry // field id -> annotation
+	mutexes   map[string][]string   // "pkg.Type" -> mutex field ids
+	annotated map[string]bool       // field ids carrying any guardedby (even malformed)
+	edges     map[lockEdge]token.Pos
+	access    map[string][]guardAccess // inference candidates
+}
+
+// fieldID names a struct field portably across type-checking universes:
+// "pkgpath.Type.field". Export-data objects carry no usable positions,
+// so identity is by name, not by types.Object.
+func fieldID(pkgPath, typeName, fieldName string) string {
+	return pkgPath + "." + typeName + "." + fieldName
+}
+
+// fieldShort renders a field id as Type.field for diagnostics.
+func fieldShort(id string) string {
+	parts := strings.Split(id, ".")
+	if len(parts) < 2 {
+		return id
+	}
+	return strings.Join(parts[len(parts)-2:], ".")
+}
+
+// selectionField resolves a selector expression to the struct field it
+// reads, with the owning named type, or ("", nil) when the selector is
+// not a field access on a named struct.
+func selectionField(info *types.Info, sel *ast.SelectorExpr) (*types.Var, string) {
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil, ""
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil, ""
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	return v, named.Obj().Name()
+}
+
+// indexGuardedFields reads the //daelint:guardedby annotations off one
+// file's struct declarations, validating the grammar: the argument must
+// name a sibling sync.Mutex/RWMutex field, at most one annotation per
+// field, and the guarded field must not itself be atomic (two disciplines
+// on one field guarantee neither).
+func indexGuardedFields(pkg *Package, f *ast.File, st *lockguardState, report func(pos token.Pos, format string, args ...any)) {
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			stype, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			typeKey := pkg.Path + "." + ts.Name.Name
+
+			// First pass: the struct's mutex fields, by name.
+			mutexFields := map[string]string{} // name -> field id
+			for _, field := range stype.Fields.List {
+				for _, name := range field.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil && isMutexType(obj.Type()) {
+						id := fieldID(pkg.Path, ts.Name.Name, name.Name)
+						mutexFields[name.Name] = id
+						st.mutexes[typeKey] = append(st.mutexes[typeKey], id)
+					}
+				}
+			}
+
+			for _, field := range stype.Fields.List {
+				var args []string
+				for _, a := range fieldDirectives(field, "guardedby") {
+					if a != "" { // empty args were already reported as malformed
+						args = append(args, a)
+					}
+				}
+				if len(args) == 0 {
+					continue
+				}
+				for _, name := range field.Names {
+					st.annotated[fieldID(pkg.Path, ts.Name.Name, name.Name)] = true
+				}
+				if len(args) > 1 {
+					report(field.Pos(), "duplicate //daelint:guardedby on field %s: a field has exactly one guarding mutex", fieldName(field))
+					continue
+				}
+				// Only the first word is the mutex name; prose may follow.
+				mutexName, _, _ := strings.Cut(args[0], " ")
+				mutexID, ok := mutexFields[mutexName]
+				if !ok {
+					report(field.Pos(), "//daelint:guardedby %s on field %s: %s names no sibling sync.Mutex/RWMutex field of %s", mutexName, fieldName(field), mutexName, ts.Name.Name)
+					continue
+				}
+				if len(field.Names) > 0 {
+					if obj := pkg.Info.Defs[field.Names[0]]; obj != nil && isAtomicType(obj.Type()) {
+						report(field.Pos(), "field %s is a sync/atomic type annotated //daelint:guardedby %s: mixing atomic and mutex discipline on one field guarantees neither; pick one", fieldName(field), mutexName)
+						continue
+					}
+				}
+				for _, name := range field.Names {
+					st.guarded[fieldID(pkg.Path, ts.Name.Name, name.Name)] = guardEntry{
+						mutexID: mutexID, mutexName: mutexName, typeName: ts.Name.Name,
+					}
+				}
+			}
+		}
+	}
+}
+
+func fieldName(field *ast.Field) string {
+	if len(field.Names) == 0 {
+		return "(embedded)"
+	}
+	names := make([]string, len(field.Names))
+	for i, n := range field.Names {
+		names[i] = n.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// mutexRef is one mutex instance: a base object (receiver, parameter or
+// local) and the mutex field reached from it. f.breakers[i].mu and
+// b.mu (with b := &f.breakers[i]) are different refs — the span tracking
+// is per-alias, which matches how the code under audit actually locks.
+type mutexRef struct {
+	base    types.Object
+	mutexID string
+}
+
+type lockSpan struct{ from, to token.Pos }
+
+type lockEvent struct {
+	pos      token.Pos
+	ref      mutexRef
+	unlock   bool
+	deferred bool
+}
+
+// checkLockguardFunc audits one function body: guarded accesses must sit
+// inside their mutex's Lock/Unlock span, atomic calls must not touch
+// guarded fields, every Lock taken while another mutex is held records a
+// lock-order edge, and unannotated field accesses are collected for
+// inference.
+func checkLockguardFunc(pkg *Package, fd *ast.FuncDecl, st *lockguardState, report func(pos token.Pos, format string, args ...any)) {
+	info := pkg.Info
+	var events []lockEvent
+	type fieldUse struct {
+		sel   *ast.SelectorExpr
+		obj   *types.Var
+		tname string
+		base  types.Object
+		write bool
+	}
+	var uses []fieldUse
+	atomicUse := map[token.Pos]string{} // selector pos -> atomic func name
+	fresh := freshLocals(pkg, fd)
+
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && isMutexMethod(sel.Sel.Name) && isMutexType(info.TypeOf(sel.X)) {
+				if msel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+					if mobj, tname := selectionField(info, msel); mobj != nil && isMutexType(mobj.Type()) {
+						if base := rootObject(info, msel.X); base != nil {
+							deferred := false
+							if len(stack) > 0 {
+								if ds, ok := stack[len(stack)-1].(*ast.DeferStmt); ok && ds.Call == n {
+									deferred = true
+								}
+							}
+							events = append(events, lockEvent{
+								pos:      n.Pos(),
+								ref:      mutexRef{base: base, mutexID: fieldID(mobj.Pkg().Path(), tname, mobj.Name())},
+								unlock:   strings.HasSuffix(sel.Sel.Name, "Unlock"),
+								deferred: deferred,
+							})
+						}
+					}
+				}
+			}
+			if fn := calleeFunc(info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+				for _, arg := range n.Args {
+					ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || ue.Op != token.AND {
+						continue
+					}
+					if s, ok := ast.Unparen(ue.X).(*ast.SelectorExpr); ok {
+						atomicUse[s.Pos()] = fn.Name()
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if fobj, tname := selectionField(info, n); fobj != nil && !isMutexType(fobj.Type()) {
+				uses = append(uses, fieldUse{
+					sel: n, obj: fobj, tname: tname,
+					base:  rootObject(info, n.X),
+					write: isWriteAccess(n, stack),
+				})
+			}
+		}
+		return true
+	})
+
+	spans := buildLockSpans(events, fd.Body.End())
+	heldFor := func(base types.Object, pos token.Pos) []string {
+		var held []string
+		for ref, ss := range spans {
+			if ref.base != base {
+				continue
+			}
+			for _, s := range ss {
+				if s.from <= pos && pos < s.to {
+					held = append(held, ref.mutexID)
+					break
+				}
+			}
+		}
+		sort.Strings(held)
+		return held
+	}
+
+	// Lock-order edges: a non-deferred Lock taken while any other mutex
+	// (any base) is held orders the two mutex declarations.
+	for _, e := range events {
+		if e.unlock || e.deferred {
+			continue
+		}
+		for ref, ss := range spans {
+			if ref == e.ref {
+				continue
+			}
+			for _, s := range ss {
+				if s.from < e.pos && e.pos < s.to {
+					edge := lockEdge{from: ref.mutexID, to: e.ref.mutexID}
+					if prev, ok := st.edges[edge]; !ok || e.pos < prev {
+						st.edges[edge] = e.pos
+					}
+					break
+				}
+			}
+		}
+	}
+
+	for _, u := range uses {
+		id := fieldID(u.obj.Pkg().Path(), u.tname, u.obj.Name())
+		if g, ok := st.guarded[id]; ok {
+			if fname := atomicUse[u.sel.Pos()]; fname != "" {
+				report(u.sel.Pos(), "field %s.%s is //daelint:guardedby %s but passed to atomic.%s; mixing atomic and mutex access on one field guarantees neither discipline", g.typeName, u.obj.Name(), g.mutexName, fname)
+				continue
+			}
+			if u.base == nil || fresh[u.base] {
+				continue // unpublished object under construction
+			}
+			held := heldFor(u.base, u.sel.Pos())
+			if !containsStr(held, g.mutexID) {
+				verb := "read"
+				if u.write {
+					verb = "write"
+				}
+				report(u.sel.Pos(), "%s of %s.%s outside %s.Lock/Unlock span (field is //daelint:guardedby %s); hold the mutex, or annotate //daelint:lockguard-ok <reason>", verb, g.typeName, u.obj.Name(), g.mutexName, g.mutexName)
+			}
+			continue
+		}
+		// Inference candidates: unannotated plain fields of structs that
+		// do have a mutex, accessed through a shared (parameter/receiver)
+		// base. Locals are presumed unpublished unless aliased from a
+		// parameter — and aliases root at the parameter anyway.
+		if st.annotated[id] || isAtomicType(u.obj.Type()) {
+			continue
+		}
+		if len(st.mutexes[u.obj.Pkg().Path()+"."+u.tname]) == 0 {
+			continue
+		}
+		if u.base == nil || !isParamOrRecv(fd, u.base) {
+			continue
+		}
+		st.access[id] = append(st.access[id], guardAccess{
+			pos: u.sel.Pos(), write: u.write, held: heldFor(u.base, u.sel.Pos()),
+			typeName: u.tname, fieldName: u.obj.Name(),
+		})
+	}
+}
+
+func isMutexMethod(name string) bool {
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return true
+	}
+	return false
+}
+
+func containsStr(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// buildLockSpans turns per-ref Lock/Unlock events into held intervals.
+// A deferred Unlock (and a Lock never unlocked) holds to the end of the
+// body. A span extends to the LAST consecutive Unlock before the next
+// Lock: the lock-then-branch idiom (unlock early on the hit path, later
+// on the miss path) unlocks once per branch, and closing at the first
+// Unlock would flag the other branch's guarded code. Overapproximating
+// the held region can only miss violations in the already-returned
+// branch, never invent them.
+func buildLockSpans(events []lockEvent, bodyEnd token.Pos) map[mutexRef][]lockSpan {
+	byRef := map[mutexRef][]lockEvent{}
+	for _, e := range events {
+		byRef[e.ref] = append(byRef[e.ref], e)
+	}
+	spans := map[mutexRef][]lockSpan{}
+	for ref, evs := range byRef {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+		open, last := token.NoPos, token.NoPos
+		for _, e := range evs {
+			switch {
+			case !e.unlock && !e.deferred:
+				if open == token.NoPos {
+					open = e.pos
+				} else if last != token.NoPos {
+					spans[ref] = append(spans[ref], lockSpan{from: open, to: last})
+					open, last = e.pos, token.NoPos
+				}
+			case e.unlock && e.deferred:
+				if open != token.NoPos {
+					spans[ref] = append(spans[ref], lockSpan{from: open, to: bodyEnd})
+					open, last = token.NoPos, token.NoPos
+				}
+			case e.unlock:
+				if open != token.NoPos {
+					last = e.pos
+				}
+			}
+		}
+		if open != token.NoPos {
+			to := bodyEnd
+			if last != token.NoPos {
+				to = last
+			}
+			spans[ref] = append(spans[ref], lockSpan{from: open, to: to})
+		}
+	}
+	return spans
+}
+
+// isWriteAccess reports whether the selector is the target of an
+// assignment, an IncDec, or has its address taken — climbing through
+// index/star/paren wrappers (s.cache[k] = v writes through the cache
+// field).
+func isWriteAccess(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	var cur ast.Node = sel
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			cur = p
+		case *ast.IndexExpr:
+			if p.X != cur {
+				return false // the selector is the key, not the target
+			}
+			cur = p
+		case *ast.StarExpr:
+			cur = p
+		case *ast.SelectorExpr:
+			if p.X == cur {
+				cur = p
+				continue
+			}
+			return false
+		case *ast.UnaryExpr:
+			return p.Op == token.AND
+		case *ast.IncDecStmt:
+			return true
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if ast.Unparen(lhs) == cur {
+					return true
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// freshLocals finds locals bound to freshly constructed values
+// (composite literals, new, make): objects under construction are not
+// yet shared, so guarded-field writes during initialization are exempt.
+func freshLocals(pkg *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	mark := func(id *ast.Ident, value ast.Expr) {
+		if value != nil && !isFreshExpr(pkg.Info, value) {
+			return
+		}
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			fresh[obj] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					mark(id, n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if len(n.Values) == 0 {
+					mark(id, nil) // var b breaker — zero value, unpublished
+				} else if i < len(n.Values) {
+					mark(id, n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func isFreshExpr(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if tv, ok := info.Types[id]; ok && tv.IsBuiltin() {
+				return id.Name == "new" || id.Name == "make"
+			}
+		}
+	}
+	return false
+}
+
+// isParamOrRecv reports whether obj is declared in fd's receiver or
+// parameter list — a base the caller shares, unlike function locals.
+func isParamOrRecv(fd *ast.FuncDecl, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	p := v.Pos()
+	if fd.Recv != nil && p >= fd.Recv.Pos() && p < fd.Recv.End() {
+		return true
+	}
+	if fd.Type.Params != nil && p >= fd.Type.Params.Pos() && p < fd.Type.Params.End() {
+		return true
+	}
+	return false
+}
+
+// reportInferred applies the inference rule: an unannotated field
+// written at least once with its struct's mutex held, yet accessed
+// elsewhere with no mutex held, is a finding at each unlocked site.
+func reportInferred(st *lockguardState, report func(pos token.Pos, format string, args ...any)) {
+	var ids []string
+	for id := range st.access {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		recs := st.access[id]
+		structKey := id[:strings.LastIndex(id, ".")]
+		structMutexes := st.mutexes[structKey]
+		lockedMutex := ""
+		for _, r := range recs {
+			if !r.write {
+				continue
+			}
+			for _, m := range structMutexes {
+				if containsStr(r.held, m) && (lockedMutex == "" || m < lockedMutex) {
+					lockedMutex = m
+				}
+			}
+		}
+		if lockedMutex == "" {
+			continue
+		}
+		for _, r := range recs {
+			unlocked := true
+			for _, m := range structMutexes {
+				if containsStr(r.held, m) {
+					unlocked = false
+					break
+				}
+			}
+			if unlocked {
+				report(r.pos, "field %s.%s is written under %s elsewhere but accessed here with no lock held; hold the mutex and annotate //daelint:guardedby %s, or suppress //daelint:lockguard-ok <reason>", r.typeName, r.fieldName, fieldShort(lockedMutex), lastDot(lockedMutex))
+			}
+		}
+	}
+}
+
+func lastDot(id string) string {
+	if i := strings.LastIndex(id, "."); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+// reportLockCycles flags every acquisition edge that closes a cycle in
+// the lock-order graph, at the acquisition site that creates it.
+func reportLockCycles(st *lockguardState, report func(pos token.Pos, format string, args ...any)) {
+	adj := map[string][]string{}
+	for e := range st.edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	for from := range adj {
+		sort.Strings(adj[from])
+	}
+	var edges []lockEdge
+	for e := range st.edges {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		if path := lockPath(adj, e.to, e.from); path != nil {
+			cycle := []string{fieldShort(e.from)}
+			for _, n := range path {
+				cycle = append(cycle, fieldShort(n))
+			}
+			report(st.edges[e], "acquiring %s while holding %s closes a lock-order cycle (%s); acquire mutexes in one global order", fieldShort(e.to), fieldShort(e.from), strings.Join(cycle, " -> "))
+		}
+	}
+}
+
+// lockPath finds a path from -> to in the acquisition graph (DFS over
+// sorted adjacency, so the reported cycle is deterministic).
+func lockPath(adj map[string][]string, from, to string) []string {
+	seen := map[string]bool{}
+	var dfs func(n string, path []string) []string
+	dfs = func(n string, path []string) []string {
+		if n == to {
+			return append(path, n)
+		}
+		if seen[n] {
+			return nil
+		}
+		seen[n] = true
+		for _, next := range adj[n] {
+			if r := dfs(next, append(path, n)); r != nil {
+				return r
+			}
+		}
+		return nil
+	}
+	return dfs(from, nil)
+}

@@ -1,0 +1,120 @@
+// Package ctxf exercises the ctxflow analyzer: blocking without a
+// context parameter, ctx-first placement, fresh-context manufacture,
+// unthreaded http.NewRequest, and retry loops that sleep without
+// consulting cancellation.
+package ctxf
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+type Pool struct {
+	ch chan int
+}
+
+func (p *Pool) WaitBad() int {
+	return <-p.ch // want `WaitBad blocks on a channel receive but has no context.Context parameter`
+}
+
+func (p *Pool) WaitGood(ctx context.Context) int {
+	return <-p.ch
+}
+
+func (p *Pool) SendBad(v int) {
+	p.ch <- v // want `SendBad blocks on a channel send but has no context.Context parameter`
+}
+
+//daelint:ctx-root fixture: the pool drains itself at shutdown, nothing upstream to cancel
+func (p *Pool) Drain() {
+	for range p.ch {
+	}
+}
+
+// ServeHTTP is rooted by its *http.Request.
+func (p *Pool) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	<-p.ch
+}
+
+func PollBad(ch chan int) int {
+	select { // want `PollBad blocks on a select but has no context.Context parameter`
+	case v := <-ch:
+		return v
+	}
+	panic("unreachable")
+}
+
+func run(ctx context.Context) {}
+
+func Spawn() {
+	run(context.Background()) // want `context.Background manufactures a fresh context in Spawn`
+}
+
+//daelint:ctx-root fixture: process entry point for the worker
+func Entry() {
+	run(context.Background())
+}
+
+func Misplaced(name string, ctx context.Context) { // want `context.Context must be the first parameter of Misplaced, not parameter 2`
+	_ = name
+	run(ctx)
+}
+
+func Request(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequest("GET", url, nil) // want `net/http.NewRequest drops the caller's context; use http.NewRequestWithContext`
+}
+
+func RetryBad(ctx context.Context, f func() error) error {
+	var err error
+	for i := 0; i < 3; i++ { // want `retry loop sleeps between rounds without consulting ctx`
+		if err = f(); err == nil {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return err
+}
+
+func RetryGood(ctx context.Context, f func() error) error {
+	var err error
+	for i := 0; i < 3; i++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if err = f(); err == nil {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return err
+}
+
+func RetrySuppressed(ctx context.Context, f func() error) error {
+	var err error
+	//daelint:ctxflow-ok fixture: the sleep is sub-millisecond and the loop is bounded at 3 rounds
+	for i := 0; i < 3; i++ {
+		if err = f(); err == nil {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return err
+}
+
+// Backoff retries through an injectable sleep hook; the hook's
+// func(time.Duration) signature counts as sleeping.
+type Backoff struct {
+	sleep func(time.Duration)
+}
+
+func (b *Backoff) RetryHook(ctx context.Context, f func() error) error {
+	var err error
+	for i := 0; i < 3; i++ { // want `retry loop sleeps between rounds without consulting ctx`
+		if err = f(); err == nil {
+			return nil
+		}
+		b.sleep(time.Millisecond)
+	}
+	return err
+}

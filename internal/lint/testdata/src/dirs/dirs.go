@@ -1,0 +1,18 @@
+// Package dirs exercises the directive-parsing edge cases: a duplicate
+// guardedby, a guardedby naming a missing mutex, and a reasonless
+// suppression that therefore suppresses nothing.
+package dirs
+
+import "sync"
+
+type T struct {
+	mu sync.Mutex
+	//daelint:guardedby mu
+	dup int //daelint:guardedby mu
+	bad int //daelint:guardedby missing
+	n   int //daelint:guardedby mu
+}
+
+func (t *T) Leak() int {
+	return t.n //daelint:lockguard-ok
+}

@@ -1,0 +1,71 @@
+// Package errc exercises the errclass analyzer: sentinel comparisons,
+// %w wrapping, and retryability classification on the Client boundary
+// type.
+package errc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGone is the package's classified sentinel.
+var ErrGone = errors.New("errc: gone")
+
+func IsGone(err error) bool {
+	return err == ErrGone // want `sentinel comparison with ==: use errors.Is\(err, ErrGone\)`
+}
+
+func StillThere(err error) bool {
+	return err != ErrGone // want `sentinel comparison with !=: use errors.Is\(err, ErrGone\)`
+}
+
+func IsGoneRight(err error) bool {
+	return errors.Is(err, ErrGone)
+}
+
+func WrapBad(err error) error {
+	return fmt.Errorf("op failed: %v", err) // want `fmt.Errorf passes an error without %w in WrapBad`
+}
+
+func WrapGood(err error) error {
+	return fmt.Errorf("op failed: %w", err)
+}
+
+// Helper is not a boundary method: minting a leaf error is fine here.
+func Helper() error {
+	return errors.New("helper failed")
+}
+
+// StatusError carries retryability in its code.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string { return e.Msg }
+
+// Client is the fixture's fleet boundary: every error its methods mint
+// must carry a classification.
+type Client struct {
+	url string
+}
+
+func (c *Client) Fetch() error {
+	return fmt.Errorf("fetch %s failed", c.url) // want `unclassified error minted in fleet-boundary method \(Client\).Fetch of errc`
+}
+
+func (c *Client) Probe() error {
+	return errors.New("probe failed") // want `unclassified error minted in fleet-boundary method \(Client\).Probe of errc: errors.New carries no retryability`
+}
+
+func (c *Client) Classified() error {
+	return fmt.Errorf("fetch %s: %w", c.url, ErrGone)
+}
+
+func (c *Client) Status() error {
+	return &StatusError{Code: 503, Msg: "overloaded"}
+}
+
+func (c *Client) Suppressed() error {
+	return errors.New("fixture") //daelint:errclass-ok fixture: demonstrates a justified suppression
+}

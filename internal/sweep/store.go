@@ -49,8 +49,8 @@ type Store struct {
 	hits, misses, writes, corrupt, writeErrs, gcEvictions, quarantines atomic.Int64
 
 	qmu         sync.Mutex
-	corruptSeen map[string]int
-	quarantined map[string]bool
+	corruptSeen map[string]int  //daelint:guardedby qmu
+	quarantined map[string]bool //daelint:guardedby qmu
 }
 
 // BlobFaults intercepts a Store's blob I/O for fault injection: OnRead

@@ -142,8 +142,8 @@ type Runner struct {
 	Degrade bool
 
 	mu     sync.Mutex
-	cache  map[key]*entry
-	prefix string // engine version + suite fingerprint, built lazily
+	cache  map[key]*entry //daelint:guardedby mu
+	prefix string         //daelint:guardedby mu -- engine version + suite fingerprint, built lazily
 
 	l1Hits, storeHits, remoteHits, sims, degraded, uncacheable atomic.Int64
 }
@@ -180,6 +180,8 @@ func (r *Runner) storeKey(pt Point) (string, bool) {
 // the engine's shared pool), consulting the in-memory cache and then the
 // persistent Store. Returned Results are private copies: the canonical
 // cached Result never escapes, so callers may mutate what they get back.
+//
+//daelint:ctx-root cancellation rides the Remote hook's captured context; local simulation is not cancellable mid-run
 func (r *Runner) RunWith(sim *engine.Sim, pt Point) (*engine.Result, error) {
 	if pt.P.Mem != nil {
 		r.uncacheable.Add(1)
@@ -292,6 +294,8 @@ func (r *Runner) Stats() CacheStats {
 // through its captures (result and error slices indexed by i). This is
 // the one worker-pool shape RunAll, RunBatch's store peel and
 // fillBatch all share.
+//
+//daelint:ctx-root workers drain a closed channel of at most n indices; there is no caller to cancel for
 func (r *Runner) forEach(n int, fn func(sim *engine.Sim, i int)) {
 	par := r.Parallelism
 	if par <= 0 {
@@ -337,6 +341,8 @@ func (r *Runner) forEach(n int, fn func(sim *engine.Sim, i int)) {
 // claimed before filling, so concurrent overlapping batches never
 // duplicate a simulation. The first error aborts the batch; failed
 // claims are dropped so later callers retry.
+//
+//daelint:ctx-root cancellation rides the RemoteBatch hook's captured context; local simulation is not cancellable mid-run
 func (r *Runner) RunBatch(pts []Point) ([]*engine.Result, error) {
 	out := make([]*engine.Result, len(pts))
 	var owned, waiters []claim
