@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "FLO52Q", "workload name (TRFD ADM FLO52Q DYFESM QCD MDG TRACK)")
+		workload = flag.String("workload", "FLO52Q", "workload name (TRFD ADM FLO52Q DYFESM QCD MDG TRACK, or spec:depth=...; see internal/workgen)")
 		kind     = flag.String("machine", "DM", "machine model: DM or SWSM")
 		window   = flag.Int("window", 64, "window size (0 = unlimited; per unit on the DM)")
 		md       = flag.Int("md", 60, "memory differential in cycles")

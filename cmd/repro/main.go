@@ -7,6 +7,17 @@
 //	      [-cache-gc policy] [-remote url1,url2,...] [-remote-batch=true] [-degrade=true]
 //	      [-hedge 0] [-chaos spec] [-chaos-stats file] [-chaos-trace file]
 //	      [-exp all|table1|fig4|fig5|fig6|fig7|fig8|fig9|cutoffs|bigwindow|esw|ablations|expansion|policies|retire|cache|complexity]
+//	repro -exp fig7 -workload spec:depth=6,ilp=2,mem=0.5,addr=chase,hazard=0.4
+//	repro -list
+//
+// -workload re-points one of the figure experiments (fig4-fig9) at any
+// registered workload instead of the paper's: a catalog kernel or a
+// generated "spec:..." workload (internal/workgen), so the whole
+// generator space sweeps through the same figure machinery, local or
+// -remote (generated workloads travel by name; the daemon regenerates
+// them and the content fingerprint proves both sides agree). -list
+// prints the workload registry in its canonical enumeration order and
+// exits.
 //
 // With -cache, simulation results are read from and written to a
 // persistent on-disk store keyed by engine version, workload content and
@@ -64,6 +75,7 @@ import (
 	"daesim/internal/faultinject"
 	"daesim/internal/machine"
 	"daesim/internal/sweep"
+	"daesim/internal/workloads"
 )
 
 // experimentOrder lists every dispatchable -exp value except "all", in
@@ -85,8 +97,20 @@ func renderTo[T interface{ Render(io.Writer) error }](get func() (T, error)) fun
 	}
 }
 
+// figureExps maps the figure experiments to their number and the
+// paper's workload; -workload overrides the workload, never the number.
+var figureExps = map[string]struct {
+	num      int
+	workload string
+}{
+	"fig4": {4, "FLO52Q"}, "fig5": {5, "MDG"}, "fig6": {6, "TRACK"},
+	"fig7": {7, "FLO52Q"}, "fig8": {8, "MDG"}, "fig9": {9, "TRACK"},
+}
+
 // dispatch maps -exp values to their drivers (each bound to ctx).
-func dispatch(ctx *experiments.Context) map[string]func(io.Writer) error {
+// workload, when non-empty, re-points the figure experiments at that
+// workload (run rejects the combination for non-figure experiments).
+func dispatch(ctx *experiments.Context, workload string) map[string]func(io.Writer) error {
 	m := map[string]func(io.Writer) error{
 		"table1":     renderTo(ctx.Table1),
 		"cutoffs":    renderTo(ctx.Cutoffs),
@@ -111,13 +135,16 @@ func dispatch(ctx *experiments.Context) map[string]func(io.Writer) error {
 			return nil
 		},
 	}
-	for _, f := range []struct{ exp, name string }{{"fig4", "FLO52Q"}, {"fig5", "MDG"}, {"fig6", "TRACK"}} {
-		name := f.name
-		m[f.exp] = renderTo(func() (*experiments.FigureResult, error) { return ctx.Figure(name) })
-	}
-	for _, f := range []struct{ exp, name string }{{"fig7", "FLO52Q"}, {"fig8", "MDG"}, {"fig9", "TRACK"}} {
-		name := f.name
-		m[f.exp] = renderTo(func() (*experiments.RatioResult, error) { return ctx.RatioFigure(name) })
+	for exp, fig := range figureExps { //daelint:nondeterministic-ok populates the dispatch map; per-entry closures are order-free
+		num, name := fig.num, fig.workload
+		if workload != "" {
+			name = workload
+		}
+		if num <= 6 {
+			m[exp] = renderTo(func() (*experiments.FigureResult, error) { return ctx.FigureNamed(num, name) })
+		} else {
+			m[exp] = renderTo(func() (*experiments.RatioResult, error) { return ctx.RatioFigureNamed(num, name) })
+		}
 	}
 	return m
 }
@@ -131,6 +158,8 @@ func main() {
 	out := flag.String("out", "results", "output directory")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	exp := flag.String("exp", "all", expFlagHelp())
+	workload := flag.String("workload", "", "with -exp fig4..fig9, sweep this workload instead of the paper's (catalog name or spec:depth=...; see internal/workgen)")
+	list := flag.Bool("list", false, "list the workload registry in canonical order and exit")
 	par := flag.Int("par", 0, "max concurrent simulations per sweep and search (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache", "", "persistent result-cache directory (empty = cache disabled)")
 	cacheClear := flag.Bool("cache-clear", false, "empty the persistent cache before running")
@@ -144,6 +173,11 @@ func main() {
 	chaosStats := flag.String("chaos-stats", "", "write fault-injection and failure-handling counters as JSON to this file")
 	chaosTrace := flag.String("chaos-trace", "", "write the per-request fault decision trace as JSON to this file (stable across runs at -par 1)")
 	flag.Parse()
+
+	if *list {
+		listWorkloads(os.Stdout)
+		return
+	}
 
 	// SIGINT/SIGTERM cancel remote calls in flight: the run fails
 	// cleanly instead of hanging on a retry loop (cancellation is never
@@ -203,7 +237,7 @@ func main() {
 		ctx.Degrade = *degrade
 	}
 
-	if err := run(ctx, *exp, *out); err != nil {
+	if err := run(ctx, *exp, *out, *workload); err != nil {
 		fatal(err)
 	}
 	if err := reportCache(ctx, *cacheStats); err != nil {
@@ -279,12 +313,32 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(ctx *experiments.Context, exp, out string) error {
+// listWorkloads prints the registry, one name per line, in the
+// canonical enumeration order — the same order the workloads.Lookup
+// error and the daemon's /v1/run validation errors print
+// (TestListOrderParity pins the agreement).
+func listWorkloads(w io.Writer) {
+	for _, name := range workloads.Names() {
+		fmt.Fprintln(w, name)
+	}
+}
+
+func run(ctx *experiments.Context, exp, out, workload string) error {
+	if workload != "" {
+		if _, isFigure := figureExps[exp]; !isFigure {
+			return fmt.Errorf("-workload applies to the figure experiments only (-exp fig4..fig9), not %q", exp)
+		}
+		// Fail on an unknown or malformed workload before any simulation
+		// starts, with the registry's own enumerating error.
+		if _, err := workloads.Lookup(workload); err != nil {
+			return err
+		}
+	}
 	if exp == "all" {
 		_, err := ctx.WriteAll(out, os.Stdout)
 		return err
 	}
-	fn, ok := dispatch(ctx)[exp]
+	fn, ok := dispatch(ctx, workload)[exp]
 	if !ok {
 		return fmt.Errorf("unknown experiment %q (want all, %s)", exp, strings.Join(experimentOrder, ", "))
 	}

@@ -6,12 +6,14 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
 	"daesim/internal/engine"
 	"daesim/internal/experiments"
 	"daesim/internal/sweep"
+	"daesim/internal/workloads"
 )
 
 // TestUsageEnumeratesExperiments keeps three things in sync: the
@@ -19,7 +21,7 @@ import (
 // Any experiment reachable through run() must be discoverable from both
 // user-facing strings.
 func TestUsageEnumeratesExperiments(t *testing.T) {
-	table := dispatch(experiments.NewContext())
+	table := dispatch(experiments.NewContext(), "")
 	if len(table) != len(experimentOrder) {
 		t.Errorf("dispatch table has %d entries, experimentOrder %d", len(table), len(experimentOrder))
 	}
@@ -145,11 +147,62 @@ func TestSingleExperiments(t *testing.T) {
 	// Stdout-printing paths for a representative subset (shared context
 	// caches the workload suites across them).
 	for _, exp := range []string{"table1", "fig6", "cutoffs", "esw", "expansion", "cache"} {
-		if err := run(ctx, exp, t.TempDir()); err != nil {
+		if err := run(ctx, exp, t.TempDir(), ""); err != nil {
 			t.Errorf("%s: %v", exp, err)
 		}
 	}
-	if err := run(ctx, "not-an-experiment", t.TempDir()); err == nil {
+	if err := run(ctx, "not-an-experiment", t.TempDir(), ""); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestWorkloadOverride covers -workload: a generated workload sweeps
+// through a figure experiment, non-figure experiments refuse the flag,
+// and a bad spec fails before any simulation starts.
+func TestWorkloadOverride(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment regeneration is slow")
+	}
+	ctx := experiments.NewContext()
+	if err := run(ctx, "fig4", t.TempDir(), "spec:depth=3,ilp=2,iters=16"); err != nil {
+		t.Errorf("fig4 with a generated workload: %v", err)
+	}
+	if err := run(ctx, "table1", t.TempDir(), "spec:depth=3"); err == nil {
+		t.Error("-workload accepted for a non-figure experiment")
+	}
+	err := run(ctx, "fig4", t.TempDir(), "spec:depth=999")
+	if err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Errorf("bad spec error %v does not name the field", err)
+	}
+	err = run(ctx, "fig4", t.TempDir(), "NOSUCH")
+	if err == nil || !strings.Contains(err.Error(), "TRFD") {
+		t.Errorf("unknown workload error %v does not enumerate the registry", err)
+	}
+}
+
+// TestListOrderParity pins satellite agreement across every user-facing
+// enumeration of the workload registry: repro -list, the
+// workloads.Lookup unknown-name error, and (transitively, because the
+// daemon's /v1/run validation error wraps that same Lookup error —
+// daemon_test.go's TestUnknownWorkloadErrorEnumeratesRegistry holds the
+// other end) the fleet's 400 bodies all list the same names in the same
+// order.
+func TestListOrderParity(t *testing.T) {
+	var buf bytes.Buffer
+	listWorkloads(&buf)
+	var listed []string
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		listed = append(listed, strings.TrimSpace(line))
+	}
+	if !reflect.DeepEqual(listed, workloads.Names()) {
+		t.Fatalf("repro -list order %v != registry order %v", listed, workloads.Names())
+	}
+	_, err := workloads.Lookup("NOSUCH")
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	want := fmt.Sprintf("%v", workloads.Names())
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("Lookup error %q does not enumerate the registry in order (want substring %q)", err, want)
 	}
 }

@@ -1,10 +1,20 @@
 // Command tracedump inspects workload traces: statistics, partition
-// summaries, listings and binary export/import.
+// summaries, listings, binary export/import and ingestion of externally
+// recorded address traces.
 //
 // Usage:
 //
 //	tracedump -workload MDG [-n 40] [-stats] [-partition] [-o trace.bin]
+//	tracedump -workload spec:depth=8,ilp=4,addr=gather -stats
 //	tracedump -i trace.bin -stats
+//	tracedump -ingest recorded.txt -o trace.bin
+//
+// -ingest reads the textual interchange format (see internal/trace
+// ReadText): one instruction per line with ^N backward operand
+// references and @ADDR memory addresses, so traces recorded from
+// arbitrary programs become sweepable workloads — validate here, export
+// with -o, and simulate the binary via the library. -text exports the
+// same format, closing the round trip.
 package main
 
 import (
@@ -12,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"daesim/internal/isa"
 	"daesim/internal/partition"
@@ -21,9 +32,11 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "", "workload to build (TRFD ADM FLO52Q DYFESM QCD MDG TRACK)")
+		workload = flag.String("workload", "", "workload to build (TRFD ADM FLO52Q DYFESM QCD MDG TRACK, or spec:depth=...)")
 		in       = flag.String("i", "", "read a binary trace instead of building a workload")
+		ingest   = flag.String("ingest", "", "read a textual address trace (see internal/trace ReadText) instead of building a workload")
 		out      = flag.String("o", "", "write the trace in binary format to this file")
+		text     = flag.String("text", "", "write the trace in the textual ingestion format to this file")
 		n        = flag.Int("n", 20, "instructions to list (0 = all)")
 		stats    = flag.Bool("stats", false, "print composition statistics")
 		part     = flag.Bool("partition", false, "print AU/DU partition summary")
@@ -33,13 +46,13 @@ func main() {
 		list     = flag.Bool("list", false, "list instructions")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *workload, *in, *out, *dot, *n, *scale, *stats, *part, *reuse, *list); err != nil {
+	if err := run(os.Stdout, *workload, *in, *ingest, *out, *text, *dot, *n, *scale, *stats, *part, *reuse, *list); err != nil {
 		fmt.Fprintf(os.Stderr, "tracedump: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, workload, in, out, dot string, n, scale int, stats, part, reuse, list bool) error {
+func run(w io.Writer, workload, in, ingest, out, text, dot string, n, scale int, stats, part, reuse, list bool) error {
 	var tr *trace.Trace
 	switch {
 	case in != "":
@@ -52,6 +65,18 @@ func run(w io.Writer, workload, in, out, dot string, n, scale int, stats, part, 
 		if err != nil {
 			return err
 		}
+	case ingest != "":
+		f, err := os.Open(ingest)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		// The file may name itself with a "# trace NAME" directive; the
+		// base name is the fallback identity.
+		tr, err = trace.ReadText(f, "ingest:"+filepath.Base(ingest))
+		if err != nil {
+			return err
+		}
 	case workload != "":
 		var err error
 		tr, err = workloads.Build(workload, scale)
@@ -59,7 +84,7 @@ func run(w io.Writer, workload, in, out, dot string, n, scale int, stats, part, 
 			return err
 		}
 	default:
-		return fmt.Errorf("need -workload or -i (known workloads: %v)", workloads.Names())
+		return fmt.Errorf("need -workload, -i or -ingest (known workloads: %v)", workloads.Names())
 	}
 
 	if stats {
@@ -108,7 +133,18 @@ func run(w io.Writer, workload, in, out, dot string, n, scale int, stats, part, 
 		}
 		fmt.Fprintf(w, "wrote %s (%d instructions)\n", out, tr.Len())
 	}
-	if list || (!stats && !part && !reuse && out == "" && dot == "") {
+	if text != "" {
+		f, err := os.Create(text)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteText(f, tr); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s (%d instructions)\n", text, tr.Len())
+	}
+	if list || (!stats && !part && !reuse && out == "" && text == "" && dot == "") {
 		return trace.Dump(w, tr, n)
 	}
 	return nil

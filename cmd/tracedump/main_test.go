@@ -3,13 +3,19 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+
+	"daesim/internal/machine"
+	"daesim/internal/partition"
+	"daesim/internal/trace"
+	"daesim/internal/workloads"
 )
 
 func TestStatsAndPartitionAndReuse(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "MDG", "", "", "", 0, 1, true, true, true, false); err != nil {
+	if err := run(&b, "MDG", "", "", "", "", "", 0, 1, true, true, true, false); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -22,7 +28,7 @@ func TestStatsAndPartitionAndReuse(t *testing.T) {
 
 func TestListDefault(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "TRFD", "", "", "", 5, 1, false, false, false, false); err != nil {
+	if err := run(&b, "TRFD", "", "", "", "", "", 5, 1, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "showing 5") {
@@ -35,12 +41,12 @@ func TestBinaryRoundTripAndDot(t *testing.T) {
 	bin := filepath.Join(dir, "t.bin")
 	dot := filepath.Join(dir, "t.dot")
 	var b strings.Builder
-	if err := run(&b, "QCD", "", bin, dot, 10, 1, false, false, false, false); err != nil {
+	if err := run(&b, "QCD", "", "", bin, "", dot, 10, 1, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	// Read the binary back and print stats.
 	b.Reset()
-	if err := run(&b, "", bin, "", "", 0, 1, true, false, false, false); err != nil {
+	if err := run(&b, "", bin, "", "", "", "", 0, 1, true, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "trace QCD") {
@@ -55,9 +61,90 @@ func TestBinaryRoundTripAndDot(t *testing.T) {
 	}
 }
 
+// TestIngestRoundTrip closes the encode→decode→partition path end to
+// end: dump a generated workload in the textual ingestion format,
+// re-ingest it through -ingest into a binary export, and require the
+// re-lowered program to produce bit-identical Results on both machines
+// — the property that makes externally recorded traces first-class
+// workloads rather than approximations.
+func TestIngestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	text := filepath.Join(dir, "t.txt")
+	bin := filepath.Join(dir, "t.bin")
+	const spec = "spec:depth=5,ilp=3,mem=0.8,addr=mixed,hazard=0.2,iters=24,seed=4"
+
+	// Dump the generated workload as text, then ingest the text back out
+	// to binary — both through the command's own driver.
+	var b strings.Builder
+	if err := run(&b, spec, "", "", "", text, "", 0, 1, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, "", "", text, bin, "", "", 0, 1, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+
+	orig, err := workloads.Build(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ingested, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, ingested) {
+		t.Fatal("ingested trace differs structurally from the generated original")
+	}
+
+	// Re-lower both and compare Results bit for bit on both machines.
+	so, err := machine.NewSuite(orig, partition.Policy(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := machine.NewSuite(ingested, partition.Policy(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if so.Fingerprint() != si.Fingerprint() {
+		t.Fatal("ingested suite fingerprint differs: the cache would treat the round trip as a new workload")
+	}
+	for _, kind := range []machine.Kind{machine.DM, machine.SWSM} {
+		for _, p := range []machine.Params{{Window: 16, MD: 60}, {Window: 0, MD: 0}} {
+			a, err := so.Run(kind, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := si.Run(kind, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, c) {
+				t.Fatalf("%v %+v: ingested Results diverge:\n orig:     %+v\n ingested: %+v", kind, p, a, c)
+			}
+		}
+	}
+}
+
+func TestIngestRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("int\nload ^7 @0x10\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	err := run(&b, "", "", bad, "", "", "", 0, 1, false, false, false, false)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("malformed ingest error %v does not name the line", err)
+	}
+}
+
 func TestNeedsInput(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "", "", "", "", 0, 1, true, false, false, false); err == nil {
+	if err := run(&b, "", "", "", "", "", "", 0, 1, true, false, false, false); err == nil {
 		t.Fatal("missing input accepted")
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"daesim/internal/partition"
 	"daesim/internal/sweep"
 	"daesim/internal/trace"
+	"daesim/internal/workgen"
 	"daesim/internal/workloads"
 )
 
@@ -118,9 +119,10 @@ type (
 // NewSuite lowers tr for both machines under the given partition policy.
 func NewSuite(tr *Trace, pol Policy) (*Suite, error) { return machine.NewSuite(tr, pol) }
 
-// Workload builds one of the seven PERFECT-club-style traces by name
-// (TRFD, ADM, FLO52Q, DYFESM, QCD, MDG, TRACK) at the given scale
-// (1 = the calibrated default size).
+// Workload builds a trace by name at the given scale (1 = the
+// calibrated default size): one of the seven PERFECT-club-style
+// kernels (TRFD, ADM, FLO52Q, DYFESM, QCD, MDG, TRACK), or a generated
+// workload "spec:depth=8,ilp=4,..." (see GenSpec).
 func Workload(name string, scale int) (*Trace, error) { return workloads.Build(name, scale) }
 
 // Workloads lists the seven benchmark specs in the paper's Table 1 order.
@@ -128,6 +130,37 @@ func Workloads() []WorkloadSpec { return workloads.Catalog() }
 
 // NewKernel returns a builder for authoring a custom workload trace.
 func NewKernel(name string) *KernelBuilder { return kernel.New(name) }
+
+// Generated workloads: any point in the knob space the study is
+// sensitive to is a workload (DESIGN.md §14). A GenSpec parses from
+// the "depth=8,ilp=4,mem=0.4,addr=gather,..." grammar, generates
+// deterministically from its seed, and its Name (the canonical
+// spelling under the "spec:" prefix) works wherever a workload name
+// does — Workload, sweeps, the daemon, the cache.
+type (
+	// GenSpec parameterizes a generated workload: FP chain depth, lane
+	// ILP, memory intensity, address-slice shape, DU→AU hazard rate.
+	GenSpec = workgen.Spec
+	// GenShape is a GenSpec's address-slice shape knob.
+	GenShape = workgen.Shape
+)
+
+// Address-slice shapes for GenSpec.Addr.
+const (
+	// GenAffine computes addresses from the lane base alone.
+	GenAffine = workgen.Affine
+	// GenGather inserts an index load ahead of each data load.
+	GenGather = workgen.Gather
+	// GenChase makes each address depend on the previously loaded value.
+	GenChase = workgen.Chase
+	// GenMixed draws the shape per load from the coordinate hash.
+	GenMixed = workgen.Mixed
+)
+
+// ParseGenSpec parses a generated-workload spec such as
+// "depth=8,ilp=4,mem=0.4,addr=gather" (without the "spec:" name
+// prefix); omitted knobs take defaults.
+func ParseGenSpec(s string) (GenSpec, error) { return workgen.Parse(s) }
 
 // SerialCycles is the serial-reference execution time used as the
 // speedup baseline (see machine.SerialCycles).

@@ -303,6 +303,57 @@ func TestSkewRefused(t *testing.T) {
 	}
 }
 
+// TestGeneratedWorkloadServes: a "spec:" workload travels by name over
+// /v1/run — the daemon regenerates it from the spec and answers
+// byte-identically to a local run, and the content fingerprint the
+// client pins is the proof both sides lowered the same program.
+func TestGeneratedWorkloadServes(t *testing.T) {
+	t.Parallel()
+	_, client := newTestServer(t, Config{})
+	const spec = "spec:depth=5,ilp=2,mem=0.8,addr=gather,hazard=0.2,iters=32,seed=9"
+	tr, err := workloads.Build(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := machine.NewSuite(tr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := sweep.Point{Kind: machine.DM, P: machine.Params{Window: 24, MD: 40}}
+	remote, err := client.Run(context.Background(), spec, 1, suite.Fingerprint(), pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := localResult(t, spec, pt)
+	if got, want := asJSON(t, remote), asJSON(t, local); !bytes.Equal(got, want) {
+		t.Fatalf("remote generated-workload result differs from local:\nremote %s\nlocal  %s", got, want)
+	}
+	// A malformed spec is a 400 naming the field, not a 500 or a hang.
+	_, err = client.Run(context.Background(), "spec:depth=0", 1, "", pt)
+	if err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Errorf("malformed spec error %v does not name the field", err)
+	}
+}
+
+// TestUnknownWorkloadErrorEnumeratesRegistry pins the daemon half of
+// the enumeration-parity contract (cmd/repro's TestListOrderParity
+// holds the other): the /v1/run validation error for an unknown
+// workload lists the registry in workloads.Names() order — the exact
+// order repro -list prints — so operators comparing a 400 body against
+// the CLI listing never see two orderings of the same catalog.
+func TestUnknownWorkloadErrorEnumeratesRegistry(t *testing.T) {
+	t.Parallel()
+	_, client := newTestServer(t, Config{})
+	_, err := client.Run(context.Background(), "NOSUCH", 1, "", sweep.Point{Kind: machine.DM, P: machine.Params{Window: 8}})
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	want := fmt.Sprintf("%v", workloads.Names())
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("validation error %q does not enumerate the registry in canonical order (want substring %q)", err, want)
+	}
+}
+
 func TestHealthz(t *testing.T) {
 	t.Parallel()
 	_, client := newTestServer(t, Config{})

@@ -1,14 +1,18 @@
 package engine
 
-// referenceRun is the seed engine's map-and-heap event loop, kept
+// ReferenceRun is the seed engine's map-and-heap event loop, kept
 // verbatim as a differential-testing oracle for the calendar-queue,
 // structure-of-arrays engine in sim.go. Its per-run allocation behaviour
 // is terrible — that is why it was replaced — but its semantics define
 // the engine: Sim.Run must produce bit-identical Results (see
-// TestCalendarQueueMatchesReference). It deliberately shares no derived
-// program state with the SoA engine: the dependence adjacency is rebuilt
-// here from the authored Op structs, so a mistake in the CSR flattening
-// cannot cancel out of the comparison.
+// TestCalendarQueueMatchesReference, and FuzzWorkgenDifferential in
+// internal/workgen, which drives both machines over generated workloads
+// against it). It deliberately shares no derived program state with the
+// SoA engine: the dependence adjacency is rebuilt here from the authored
+// Op structs, so a mistake in the CSR flattening cannot cancel out of
+// the comparison. It is exported for differential harnesses only; no
+// production path calls it (it is not reachable from Sim.Run, so the
+// versioned semantics surface does not include it).
 
 import (
 	"fmt"
@@ -72,8 +76,8 @@ func (c *refCoreRun) touch(cycle int64) {
 	c.lastTouch = cycle
 }
 
-// referenceRun executes the program exactly as the seed engine did.
-func referenceRun(p *Program, cfg Config) (*Result, error) {
+// ReferenceRun executes the program exactly as the seed engine did.
+func ReferenceRun(p *Program, cfg Config) (*Result, error) {
 	if err := cfg.Validate(p); err != nil {
 		return nil, err
 	}

@@ -62,8 +62,8 @@ func TestCalendarQueueMatchesReference(t *testing.T) {
 		cfg := randomConfig(rng, units)
 		got, gotErr := Run(p, cfg)
 		// The reference must see the same memory-model state; Run resets
-		// the model, and referenceRun resets it again before use.
-		want, wantErr := referenceRun(p, cfg)
+		// the model, and ReferenceRun resets it again before use.
+		want, wantErr := ReferenceRun(p, cfg)
 		if (gotErr == nil) != (wantErr == nil) {
 			t.Logf("seed=%d: error mismatch: %v vs %v", seed, gotErr, wantErr)
 			return false
@@ -94,7 +94,7 @@ func TestFarEventOverflow(t *testing.T) {
 		{Timing: isa.Timing{MD: 9000, FPLat: 3, CopyLat: 1}, Cores: cores, HoldSendSlots: true},
 	} {
 		got := mustRun(t, p, cfg)
-		want, err := referenceRun(p, cfg)
+		want, err := ReferenceRun(p, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,7 +132,7 @@ func TestWidePathMatchesReference(t *testing.T) {
 	for _, p := range progs {
 		for ci, cfg := range cfgs {
 			got := mustRun(t, p, cfg)
-			want, err := referenceRun(p, cfg)
+			want, err := ReferenceRun(p, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -307,6 +307,14 @@ func (c *Context) Figure(name string) (*FigureResult, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: %q is not a figure workload (want one of %v)", name, workloads.FigureNames())
 	}
+	return c.FigureNamed(num, name)
+}
+
+// FigureNamed measures a Figure 4-6 style speedup sweep for any
+// registered workload — including generated "spec:..." workloads —
+// labeled with the given figure number. Figure is the paper-pinned
+// special case; this is the sweepable general one (repro -workload).
+func (c *Context) FigureNamed(num int, name string) (*FigureResult, error) {
 	r, err := c.Runner(name)
 	if err != nil {
 		return nil, err
@@ -375,6 +383,13 @@ func (c *Context) RatioFigure(name string) (*RatioResult, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: %q is not a ratio-figure workload (want one of %v)", name, workloads.FigureNames())
 	}
+	return c.RatioFigureNamed(num, name)
+}
+
+// RatioFigureNamed measures a Figure 7-9 style equivalent-window ratio
+// curve for any registered workload — including generated "spec:..."
+// workloads — labeled with the given figure number (see FigureNamed).
+func (c *Context) RatioFigureNamed(num int, name string) (*RatioResult, error) {
 	r, err := c.Runner(name)
 	if err != nil {
 		return nil, err

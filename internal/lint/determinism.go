@@ -31,6 +31,10 @@ var DefaultDeterminismPaths = []string{
 	"daesim/internal/isa",
 	"daesim/internal/kernel",
 	"daesim/internal/workloads",
+	// workgen's whole contract is determinism: a spec plus a seed must
+	// regenerate the identical trace on every host (the fleet and the
+	// cache fingerprint both depend on it).
+	"daesim/internal/workgen",
 	"daesim/internal/trace",
 	"daesim/internal/memsys",
 	"daesim/internal/plot",

@@ -291,6 +291,30 @@ func (p Params) swsmConfig() (engine.Config, error) {
 	}, nil
 }
 
+// Config materializes the engine configuration p implies for a machine
+// kind — exactly what Run hands the engine. Exported for differential
+// harnesses (FuzzWorkgenDifferential) that replay the same setup
+// through engine.ReferenceRun; each call constructs a fresh memory
+// model, so two configs never share queue state.
+func (p Params) Config(kind Kind) (engine.Config, error) {
+	switch kind {
+	case DM:
+		return p.dmConfig()
+	case SWSM:
+		return p.swsmConfig()
+	default:
+		return engine.Config{}, fmt.Errorf("machine: unknown kind %v", kind)
+	}
+}
+
+// Program returns the lowered program Run executes for kind.
+func (s *Suite) Program(kind Kind) *engine.Program {
+	if kind == DM {
+		return s.DM.Program
+	}
+	return s.SWSM
+}
+
 // RunDM executes the decoupled machine under p.
 func (s *Suite) RunDM(p Params) (*engine.Result, error) { return s.RunDMWith(nil, p) }
 

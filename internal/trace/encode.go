@@ -110,13 +110,23 @@ func Read(r io.Reader) (*Trace, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
-	t := &Trace{Name: string(name), Instrs: make([]Instr, n)}
-	for i := range t.Instrs {
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	// Grow incrementally with a capped initial allocation: the header's
+	// count is untrusted, and a 3-byte instruction record means a short
+	// input claiming 4G instructions must fail on read, not allocate
+	// hundreds of gigabytes up front (FuzzTraceDecode's oversized-count
+	// case).
+	prealloc := n
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	t := &Trace{Name: string(name), Instrs: make([]Instr, 0, prealloc)}
+	for i := 0; i < n; i++ {
 		var h [3]byte
 		if _, err := io.ReadFull(br, h[:]); err != nil {
 			return nil, err
 		}
+		t.Instrs = append(t.Instrs, Instr{})
 		in := &t.Instrs[i]
 		in.Class = isa.Class(h[0])
 		nAddr, nArgs := int(h[1]), int(h[2])

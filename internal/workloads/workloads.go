@@ -1,6 +1,11 @@
 // Package workloads provides the seven synthetic kernels standing in for
 // the PERFECT club programs used by the paper (TRFD, ADM, FLO52Q, DYFESM,
-// QCD, MDG, TRACK).
+// QCD, MDG, TRACK), plus generated workloads: any name of the form
+// "spec:depth=8,ilp=4,..." resolves through internal/workgen to a
+// parameterized kernel, making the whole generator space sweepable
+// wherever a workload name travels (experiments, the daemon wire
+// protocol, the persistent cache — whose keys fingerprint workload
+// content, not names).
 //
 // The original Fortran benchmarks and the authors' tracing toolchain are
 // not available; per DESIGN.md §2 each program is replaced by a dataflow
@@ -22,10 +27,11 @@ package workloads
 
 import (
 	"fmt"
-	"sort"
+	"strings"
 
 	"daesim/internal/kernel"
 	"daesim/internal/trace"
+	"daesim/internal/workgen"
 )
 
 // Band classifies latency-hiding effectiveness per the paper's Table 1.
@@ -137,16 +143,51 @@ func Names() []string {
 // FigureNames returns the three programs the paper plots in Figures 4-9.
 func FigureNames() []string { return []string{"FLO52Q", "MDG", "TRACK"} }
 
-// Lookup returns the spec for a workload name.
+// Lookup returns the spec for a workload name. Names carrying the
+// "spec:" prefix are generated workloads: the suffix is a workgen spec
+// (e.g. "spec:depth=8,ilp=4,mem=0.4,addr=gather"), parsed and
+// canonicalized here, so every spelling of a spec resolves to one
+// workload identity. The unknown-name error enumerates the catalog in
+// Names() order — the same order repro -list prints and the daemon's
+// /v1/run validation errors surface — so every user-facing enumeration
+// of the registry agrees.
 func Lookup(name string) (Spec, error) {
+	if rest, ok := strings.CutPrefix(name, workgen.Prefix); ok {
+		gs, err := workgen.Parse(rest)
+		if err != nil {
+			return Spec{}, fmt.Errorf("workloads: bad generated workload %q: %w", name, err)
+		}
+		return Spec{
+			Name:        gs.Name(),
+			Description: "generated workload (internal/workgen)",
+			Band:        generatedBand(gs),
+			Build:       gs.Generate,
+		}, nil
+	}
 	for _, s := range catalog {
 		if s.Name == name {
 			return s, nil
 		}
 	}
-	known := Names()
-	sort.Strings(known)
-	return Spec{}, fmt.Errorf("workloads: unknown workload %q (known: %v)", name, known)
+	return Spec{}, fmt.Errorf("workloads: unknown workload %q (known: %v, or %sdepth=...,ilp=...; see internal/workgen)",
+		name, Names(), workgen.Prefix)
+}
+
+// generatedBand predicts a generated spec's latency-hiding band from
+// the knobs that drive the paper's taxonomy: DU→AU hazards put memory
+// latency on the critical path (TRACK's failure mode), and
+// data-dependent chases serialize the address slice (the self-load
+// story of the moderate band). The prediction is advisory — a label for
+// listings, not a measurement.
+func generatedBand(gs workgen.Spec) Band {
+	switch {
+	case gs.Hazard > 0.3:
+		return Poorly
+	case gs.Hazard > 0 || gs.Addr == workgen.Chase || gs.Addr == workgen.Mixed:
+		return Moderately
+	default:
+		return Highly
+	}
 }
 
 // Build constructs the named workload trace at the given scale.
