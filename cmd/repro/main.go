@@ -6,6 +6,7 @@
 //	repro [-out results] [-scale 1] [-par 0] [-cache dir] [-cache-clear] [-cache-stats file]
 //	      [-cache-gc policy] [-remote url1,url2,...] [-remote-batch=true] [-degrade=true]
 //	      [-hedge 0] [-chaos spec] [-chaos-stats file] [-chaos-trace file]
+//	      [-metrics-dump file]
 //	      [-exp all|table1|fig4|fig5|fig6|fig7|fig8|fig9|cutoffs|bigwindow|esw|ablations|expansion|policies|retire|cache|complexity]
 //	repro -exp fig7 -workload spec:depth=6,ilp=2,mem=0.5,addr=chase,hazard=0.4
 //	repro -list
@@ -52,6 +53,13 @@
 // across runs at -par 1). The summary always prints to stderr, keeping
 // stdout byte-comparable across runs.
 //
+// -metrics-dump writes a one-shot Prometheus text exposition of the
+// run's client-side metrics — the runner cache counters, the store
+// counters and gauges, and (with -remote) the fleet client's failure
+// ladder and per-replica latency histograms — to a file after the run:
+// the same exposition a sweepd serves live on GET /metrics (DESIGN.md
+// §15), for runs that have no daemon to scrape.
+//
 // TestUsageEnumeratesExperiments keeps the usage line above, the -exp
 // flag help and the dispatch table in sync.
 package main
@@ -74,6 +82,7 @@ import (
 	"daesim/internal/experiments"
 	"daesim/internal/faultinject"
 	"daesim/internal/machine"
+	"daesim/internal/obsv"
 	"daesim/internal/sweep"
 	"daesim/internal/workloads"
 )
@@ -172,6 +181,7 @@ func main() {
 	chaos := flag.String("chaos", "", "deterministic fault-injection schedule, e.g. seed=7,timeout@r1:rate=0.2,5xx:rate=0.05 (see internal/faultinject)")
 	chaosStats := flag.String("chaos-stats", "", "write fault-injection and failure-handling counters as JSON to this file")
 	chaosTrace := flag.String("chaos-trace", "", "write the per-request fault decision trace as JSON to this file (stable across runs at -par 1)")
+	metricsDump := flag.String("metrics-dump", "", "write a one-shot Prometheus text exposition of the run's client-side metrics to this file")
 	flag.Parse()
 
 	if *list {
@@ -227,9 +237,17 @@ func main() {
 	} else if *chaosTrace != "" {
 		fatal(fmt.Errorf("-chaos-trace needs -chaos"))
 	}
+	// The metrics registry exists for the whole run when -metrics-dump is
+	// set, so the fleet client's per-replica histograms observe traffic
+	// as it happens; the cache/store bridges read their snapshots at dump
+	// time either way.
+	var reg *obsv.Registry
+	if *metricsDump != "" {
+		reg = obsv.NewRegistry()
+	}
 	var fleet *daemon.FleetClient
 	if *remote != "" {
-		f, err := attachRemote(rctx, ctx, *remote, *remoteBatch, injector, *hedge)
+		f, err := attachRemote(rctx, ctx, *remote, *remoteBatch, injector, *hedge, reg)
 		if err != nil {
 			fatal(fmt.Errorf("-remote: %w", err))
 		}
@@ -245,6 +263,11 @@ func main() {
 	}
 	if err := reportChaos(ctx, fleet, injector, *chaos, *chaosStats, *chaosTrace); err != nil {
 		fatal(err)
+	}
+	if reg != nil {
+		if err := writeMetricsDump(reg, ctx, *metricsDump); err != nil {
+			fatal(err)
+		}
 	}
 	if *cacheGC != "" {
 		if err := runCacheGC(ctx.Cache, gcPolicy, os.Stderr); err != nil {
@@ -262,7 +285,7 @@ func main() {
 // chaos injector (scope "r<i>" in list order) — faults exercise the
 // steady-state path, not the startup gate. rctx carries the process
 // signal context into every remote call.
-func attachRemote(rctx context.Context, ctx *experiments.Context, spec string, batch bool, injector *faultinject.Injector, hedge time.Duration) (*daemon.FleetClient, error) {
+func attachRemote(rctx context.Context, ctx *experiments.Context, spec string, batch bool, injector *faultinject.Injector, hedge time.Duration, reg *obsv.Registry) (*daemon.FleetClient, error) {
 	urls := strings.Split(spec, ",")
 	for i := range urls {
 		urls[i] = strings.TrimSpace(urls[i])
@@ -272,6 +295,9 @@ func attachRemote(rctx context.Context, ctx *experiments.Context, spec string, b
 		return nil, err
 	}
 	fleet.HedgeDelay = hedge
+	if reg != nil {
+		fleet.Instrument(reg)
+	}
 	if err := fleet.Health(rctx); err != nil {
 		return nil, err
 	}
@@ -391,6 +417,21 @@ type chaosReport struct {
 	Degraded int64 `json:"degraded"`
 	// Quarantined counts store keys retired after repeated corruption.
 	Quarantined int64 `json:"quarantined"`
+}
+
+// writeMetricsDump bridges the run's cache and store counters into reg
+// and writes the full exposition — the -metrics-dump file, the offline
+// twin of a sweepd's GET /metrics.
+func writeMetricsDump(reg *obsv.Registry, ctx *experiments.Context, path string) error {
+	daemon.InstrumentCacheStats(reg, ctx.CacheStats)
+	if ctx.Cache != nil {
+		daemon.InstrumentStore(reg, ctx.Cache)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 // reportChaos writes the -chaos-stats and -chaos-trace documents.

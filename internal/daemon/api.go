@@ -293,9 +293,18 @@ type StatsResponse struct {
 	// current on-disk entry count (zero values when no store is attached).
 	Store        sweep.StoreStats `json:"store"`
 	StoreEntries int              `json:"store_entries"`
-	// UptimeSeconds and Requests describe the serving process.
+	// UptimeSeconds and the request counters describe the serving
+	// process. Requests counts admitted work — simulation requests that
+	// made it past the draining gate and the admission semaphore (the
+	// number the CI smokes assert on); Received counts every arrival at
+	// a throttled endpoint, Refused the draining 503s, and QueueTimeouts
+	// the requests whose deadline expired while queued for a slot, so
+	// Received = Requests + Refused + QueueTimeouts + currently queued.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Requests      int64   `json:"requests"`
+	Received      int64   `json:"received"`
+	Refused       int64   `json:"refused"`
+	QueueTimeouts int64   `json:"queue_timeouts"`
 }
 
 // DrainingHeader marks 503 refusals from a daemon in graceful

@@ -14,6 +14,7 @@ import (
 	"daesim/internal/engine"
 	"daesim/internal/experiments"
 	"daesim/internal/machine"
+	"daesim/internal/obsv"
 	"daesim/internal/sweep"
 )
 
@@ -88,6 +89,10 @@ type FleetClient struct {
 	sleep func(time.Duration)
 
 	retries, breakerOpens, hedges, drainingReroutes, unavailable atomic.Int64
+
+	// latency holds per-replica request-latency histograms once
+	// Instrument has been called; nil slots mean "not observing".
+	latency []*obsv.Histogram
 }
 
 // FleetMetrics is a snapshot of a FleetClient's failure-handling
@@ -126,6 +131,7 @@ func NewFleetClient(urls []string) (*FleetClient, error) {
 	}
 	members := make([]string, len(urls))
 	clients := make([]*Client, len(urls))
+	seen := make(map[string]int, len(urls))
 	for i, u := range urls {
 		for len(u) > 1 && u[len(u)-1] == '/' {
 			u = u[:len(u)-1]
@@ -133,6 +139,13 @@ func NewFleetClient(urls []string) (*FleetClient, error) {
 		if u == "" {
 			return nil, fmt.Errorf("daemon fleet: replica %d has an empty URL", i)
 		}
+		// Duplicates collapse to identical vnode hashes: the ring would
+		// route as if the fleet were smaller while maxAttempts still
+		// counts both entries, silently shrinking the real failover set.
+		if prev, dup := seen[u]; dup {
+			return nil, fmt.Errorf("daemon fleet: replicas %d and %d are the same URL %q after trailing-slash normalization; every replica must be listed once", prev, i, u)
+		}
+		seen[u] = i
 		members[i] = u
 		clients[i] = NewClient(u)
 	}
@@ -271,6 +284,36 @@ func (f *FleetClient) onFailure(i int) {
 	}
 }
 
+// Instrument registers the fleet client's failure-ladder counters,
+// per-replica breaker-state gauges, and per-replica request-latency
+// histograms on reg (repro -metrics-dump, sweepd when proxying). Call
+// it before the client serves traffic; it is not safe to race with
+// in-flight calls.
+func (f *FleetClient) Instrument(reg *obsv.Registry) {
+	InstrumentFleetMetrics(reg, f.Metrics)
+	f.latency = make([]*obsv.Histogram, len(f.clients))
+	for i, c := range f.clients {
+		i := i
+		reg.GaugeFunc("daesim_fleet_breaker_state", "replica circuit-breaker state (0 closed, 1 open, 2 half-open)",
+			func() float64 { return float64(f.breakerIs(i)) }, obsv.L("replica", c.BaseURL))
+		f.latency[i] = reg.Histogram("daesim_fleet_request_seconds", "fleet request latency by replica, queue and transport included", obsv.LatencyBuckets, obsv.L("replica", c.BaseURL))
+	}
+}
+
+// observe times one replica request for the Instrument histograms; a
+// pass-through before Instrument is called. It uses the injectable
+// clock, so fake-clock tests observe zero durations instead of reading
+// the wall.
+func (f *FleetClient) observe(replica int, call func() error) error {
+	if f.latency == nil || f.latency[replica] == nil {
+		return call()
+	}
+	start := f.now()
+	err := call()
+	f.latency[replica].Observe(f.now().Sub(start).Seconds())
+	return err
+}
+
 // breakerIs reports replica i's current breaker state (tests).
 func (f *FleetClient) breakerIs(i int) breakerState {
 	b := &f.breakers[i]
@@ -311,11 +354,14 @@ type unavailableError struct {
 	last error
 }
 
+// Error deliberately does NOT interpolate sweep.ErrUnavailable: Unwrap
+// already carries it, so embedding its text too would make every
+// %w-formatted chain up the stack say "unavailable" twice.
 func (e *unavailableError) Error() string {
 	if e.last == nil {
-		return fmt.Sprintf("daemon fleet: %d point(s) had no available replica: %v", e.n, sweep.ErrUnavailable)
+		return fmt.Sprintf("daemon fleet: %d point(s) unavailable: no replica could be tried", e.n)
 	}
-	return fmt.Sprintf("daemon fleet: %d point(s) failed on every candidate replica (%v): last error: %v", e.n, sweep.ErrUnavailable, e.last)
+	return fmt.Sprintf("daemon fleet: %d point(s) unavailable after every candidate replica failed (last error: %v)", e.n, e.last)
 }
 
 func (e *unavailableError) Unwrap() error { return sweep.ErrUnavailable }
@@ -424,7 +470,7 @@ func (f *FleetClient) scatter(ctx context.Context, n int, keyOf func(int) string
 		outcomes := make(chan outcome, len(groups))
 		for replica, idx := range groups {
 			go func(replica int, idx []int) {
-				outcomes <- outcome{replica, idx, exec(ctx, replica, idx)}
+				outcomes <- outcome{replica, idx, f.observe(replica, func() error { return exec(ctx, replica, idx) })}
 			}(replica, idx)
 		}
 		var next []int
@@ -509,7 +555,7 @@ func (f *FleetClient) single(ctx context.Context, key string, exec func(ctx cont
 		tried |= 1 << uint(c)
 		outstanding++
 		go func() {
-			results <- attempt{c, exec(actx, c)}
+			results <- attempt{c, f.observe(c, func() error { return exec(actx, c) })}
 		}()
 		return true
 	}

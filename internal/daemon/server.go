@@ -17,6 +17,7 @@ import (
 	"daesim/internal/experiments"
 	"daesim/internal/machine"
 	"daesim/internal/metrics"
+	"daesim/internal/obsv"
 	"daesim/internal/partition"
 	"daesim/internal/sweep"
 )
@@ -52,6 +53,10 @@ type Config struct {
 	// and -fleet; see HealthResponse).
 	ReplicaID string
 	Fleet     []string
+	// DisableMetrics leaves GET /metrics off the handler (sweepd
+	// -metrics=false). The registry still exists and the request
+	// accounting still runs — only the scrape endpoint is withheld.
+	DisableMetrics bool
 }
 
 // Server is the long-lived sweep daemon: one single-flight memoizing
@@ -65,8 +70,24 @@ type Server struct {
 	mu       sync.Mutex
 	contexts map[suiteKey]*experiments.Context //daelint:guardedby mu
 
-	requests atomic.Int64
+	// Request accounting. received counts every arrival at a throttled
+	// endpoint; requests counts only admitted work (it keeps the
+	// long-standing "requests" name in StatsResponse — before this split
+	// it was incremented ahead of the draining check and the semaphore,
+	// so refusals and queue timeouts inflated the served-work stat the
+	// CI smokes assert on). refused counts draining 503s and
+	// queueTimeouts counts requests whose context expired while waiting
+	// for an admission slot. queued is the live queue depth.
+	received      atomic.Int64
+	requests      atomic.Int64
+	refused       atomic.Int64
+	queueTimeouts atomic.Int64
+	queued        atomic.Int64
+
 	draining atomic.Bool
+
+	metrics       *obsv.Registry
+	admissionWait *obsv.Histogram
 }
 
 // suiteKey identifies one experiments.Context: runners are cached per
@@ -82,7 +103,80 @@ func NewServer(cfg Config) *Server {
 	if cfg.MaxConcurrent > 0 {
 		s.sem = make(chan struct{}, cfg.MaxConcurrent)
 	}
+	s.metrics = obsv.NewRegistry()
+	s.registerMetrics()
 	return s
+}
+
+// Metrics returns the server's registry, for tests and for callers that
+// want to co-register their own series (sweepd registers the fleet
+// client's ladder on the same registry when proxying).
+func (s *Server) Metrics() *obsv.Registry { return s.metrics }
+
+// registerMetrics wires the server's accounting and its runners' cache
+// counters into the scrape registry. Everything is func-backed: the
+// atomic counters stay the single source of truth and /metrics reads
+// them at scrape time, so StatsResponse and the exposition cannot
+// drift (pinned by TestMetricsParity).
+func (s *Server) registerMetrics() {
+	r := s.metrics
+	r.CounterFunc("daesim_requests_received_total", "simulation requests arriving at throttled endpoints, including refusals",
+		func() float64 { return float64(s.received.Load()) })
+	r.CounterFunc("daesim_requests_admitted_total", "simulation requests admitted past draining and the admission semaphore",
+		func() float64 { return float64(s.requests.Load()) })
+	r.CounterFunc("daesim_requests_refused_total", "simulation requests refused with 503 because the daemon is draining",
+		func() float64 { return float64(s.refused.Load()) })
+	r.CounterFunc("daesim_requests_queue_timeouts_total", "simulation requests whose context expired while queued for an admission slot",
+		func() float64 { return float64(s.queueTimeouts.Load()) })
+	r.GaugeFunc("daesim_admission_queue_depth", "requests currently waiting for an admission-semaphore slot",
+		func() float64 { return float64(s.queued.Load()) })
+	s.admissionWait = r.Histogram("daesim_admission_wait_seconds", "time spent waiting for an admission-semaphore slot", obsv.LatencyBuckets)
+	r.GaugeFunc("daesim_uptime_seconds", "seconds since the daemon started",
+		func() float64 { return time.Since(s.start).Seconds() })
+	InstrumentCacheStats(r, s.runnerStats)
+	if st := s.cfg.Store; st != nil {
+		InstrumentStore(r, st)
+	}
+}
+
+// statusWriter records the response status for the endpoint error
+// counters; an unset status means an implicit 200 from the first Write.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a route with per-endpoint request, error and latency
+// metrics. It sits outside throttle and the timeout handler so queue
+// wait and timeout 503s are part of the observed latency and error
+// counts — the client's view, not the handler's.
+func (s *Server) instrument(endpoint string, h http.Handler) http.Handler {
+	reqs := s.metrics.Counter("daesim_http_requests_total", "HTTP requests by endpoint", obsv.L("endpoint", endpoint))
+	lat := s.metrics.Histogram("daesim_http_request_seconds", "HTTP request latency by endpoint", obsv.LatencyBuckets, obsv.L("endpoint", endpoint))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		reqs.Inc()
+		lat.Observe(time.Since(start).Seconds())
+		if sw.status >= 400 {
+			s.metrics.Counter("daesim_http_errors_total", "HTTP error responses by endpoint and status code",
+				obsv.L("endpoint", endpoint), obsv.L("code", fmt.Sprintf("%d", sw.status))).Inc()
+		}
+	})
+}
+
+// handleMetrics serves the Prometheus text exposition (GET /metrics).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WritePrometheus(w)
 }
 
 // logf writes one log line when a logger is configured.
@@ -159,14 +253,19 @@ func targetStatus(err error) int {
 // liveness probes and operators are never starved by a sweep burst.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
-	mux.HandleFunc("POST /v1/cache/gc", s.handleCacheGC)
-	mux.Handle("POST /v1/run", s.throttle(s.handleRun))
-	mux.Handle("POST /v1/sweep", s.throttle(s.handleSweep))
-	mux.Handle("POST /v1/search", s.throttle(s.handleSearch))
-	mux.Handle("POST /v1/batch/run", s.throttle(s.handleBatchRun))
-	mux.Handle("POST /v1/batch/search", s.throttle(s.handleBatchSearch))
+	mux.Handle("GET /healthz", s.instrument("healthz", http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("GET /v1/cache/stats", s.instrument("cache_stats", http.HandlerFunc(s.handleCacheStats)))
+	mux.Handle("POST /v1/cache/gc", s.instrument("cache_gc", http.HandlerFunc(s.handleCacheGC)))
+	mux.Handle("POST /v1/run", s.instrument("run", s.throttle(s.handleRun)))
+	mux.Handle("POST /v1/sweep", s.instrument("sweep", s.throttle(s.handleSweep)))
+	mux.Handle("POST /v1/search", s.instrument("search", s.throttle(s.handleSearch)))
+	mux.Handle("POST /v1/batch/run", s.instrument("batch_run", s.throttle(s.handleBatchRun)))
+	mux.Handle("POST /v1/batch/search", s.instrument("batch_search", s.throttle(s.handleBatchSearch)))
+	if !s.cfg.DisableMetrics {
+		// Deliberately outside instrument: a scraper polling /metrics
+		// every few seconds would drown the request counters it reads.
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
 	return mux
 }
 
@@ -183,25 +282,36 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // throttle wraps a simulation handler with the admission semaphore and
-// the request timeout.
+// the request timeout. s.requests counts only work admitted past both
+// gates — drain refusals and queue timeouts land in their own counters
+// instead of inflating the served-work stat (they used to: the old code
+// incremented before the draining check and the semaphore).
 func (s *Server) throttle(h http.HandlerFunc) http.Handler {
 	limited := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.requests.Add(1)
+		s.received.Add(1)
 		if s.draining.Load() {
+			s.refused.Add(1)
 			w.Header().Set(DrainingHeader, DrainingValue)
 			writeError(w, http.StatusServiceUnavailable, errors.New("daemon: draining: not accepting new work"))
 			return
 		}
 		if s.sem != nil {
+			s.queued.Add(1)
+			waitStart := time.Now()
 			select {
 			case s.sem <- struct{}{}:
+				s.queued.Add(-1)
+				s.admissionWait.Observe(time.Since(waitStart).Seconds())
 				defer func() { <-s.sem }()
 			case <-r.Context().Done():
+				s.queued.Add(-1)
+				s.queueTimeouts.Add(1)
 				// The timeout handler (or the client) already gave up;
 				// it owns the response.
 				return
 			}
 		}
+		s.requests.Add(1)
 		h(w, r)
 	})
 	if s.cfg.RequestTimeout <= 0 {
@@ -225,6 +335,11 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	json.NewEncoder(w).Encode(ErrorResponse{Error: err.Error()})
 }
 
+// maxBodyBytes caps a request body; a body at or over the cap is
+// refused by name rather than surfacing as a bare "unexpected EOF"
+// from the truncating reader.
+const maxBodyBytes = 16 << 20
+
 // decode parses a JSON request body, rejecting unknown fields so a
 // misspelled parameter fails loudly instead of silently simulating the
 // default configuration, and rejecting trailing bytes after the
@@ -232,12 +347,22 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // malformed request, not a prefix to silently honor (the fuzz oracle
 // pins invalid JSON to 400).
 func decode(r *http.Request, v any) error {
-	dec := json.NewDecoder(io.LimitReader(r.Body, 16<<20))
+	// One byte of headroom over the cap: the reader draining means the
+	// body hit the limit, which is what the error should say.
+	lr := &io.LimitedReader{R: r.Body, N: maxBodyBytes + 1}
+	overLimit := func() bool { return lr.N <= 0 }
+	dec := json.NewDecoder(lr)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		if overLimit() {
+			return fmt.Errorf("request body exceeds the %d MiB limit", maxBodyBytes>>20)
+		}
 		return err
 	}
 	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		if overLimit() {
+			return fmt.Errorf("request body exceeds the %d MiB limit", maxBodyBytes>>20)
+		}
 		return fmt.Errorf("unexpected data after the JSON body")
 	}
 	return nil
@@ -516,9 +641,9 @@ func (s *Server) handleBatchSearch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, BatchSearchResponse{Results: results})
 }
 
-// Stats aggregates cache traffic across every runner the daemon has
-// built (it also backs GET /v1/cache/stats).
-func (s *Server) Stats() StatsResponse {
+// runnerStats aggregates cache traffic across every runner the daemon
+// has built (Stats and the scrape registry's runner counters read it).
+func (s *Server) runnerStats() sweep.CacheStats {
 	var total sweep.CacheStats
 	s.mu.Lock()
 	ctxs := make([]*experiments.Context, 0, len(s.contexts))
@@ -529,11 +654,21 @@ func (s *Server) Stats() StatsResponse {
 	for _, ctx := range ctxs {
 		total.Add(ctx.CacheStats())
 	}
+	return total
+}
+
+// Stats aggregates cache traffic across every runner the daemon has
+// built (it also backs GET /v1/cache/stats).
+func (s *Server) Stats() StatsResponse {
+	total := s.runnerStats()
 	resp := StatsResponse{
 		Runner:        total,
 		HitRate:       total.HitRate(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests:      s.requests.Load(),
+		Received:      s.received.Load(),
+		Refused:       s.refused.Load(),
+		QueueTimeouts: s.queueTimeouts.Load(),
 	}
 	if s.cfg.Store != nil {
 		resp.Store = s.cfg.Store.Stats()

@@ -256,7 +256,13 @@ func (s *Store) Clear() error {
 
 // Len reports the number of entries on disk (a scan; diagnostic use).
 func (s *Store) Len() int {
-	n := 0
+	n, _ := s.Usage()
+	return n
+}
+
+// Usage reports the entry count and total byte size of the store in one
+// directory scan (diagnostic use; backs the store gauges on /metrics).
+func (s *Store) Usage() (entries int, bytes int64) {
 	fans, _ := os.ReadDir(s.dir)
 	for _, fan := range fans {
 		if !fan.IsDir() {
@@ -264,12 +270,16 @@ func (s *Store) Len() int {
 		}
 		blobs, _ := os.ReadDir(filepath.Join(s.dir, fan.Name()))
 		for _, b := range blobs {
-			if filepath.Ext(b.Name()) == ".json" {
-				n++
+			if filepath.Ext(b.Name()) != ".json" {
+				continue
+			}
+			entries++
+			if info, err := b.Info(); err == nil {
+				bytes += info.Size()
 			}
 		}
 	}
-	return n
+	return entries, bytes
 }
 
 // Stats returns a snapshot of the store's counters.
